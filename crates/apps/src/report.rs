@@ -1,0 +1,177 @@
+//! Plain-text table/CSV formatting for the benchmark binaries — mirrors
+//! the OSU micro-benchmark output style the paper's figures are drawn
+//! from.
+
+/// A results table: one row per sweep point, one value column per
+/// contestant.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    row_header: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Starts a table titled `title`, whose first column is `row_header`
+    /// and whose value columns are `columns`.
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Raw access to the rows.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(l, _)| l.len())
+                .chain([self.row_header.len()])
+                .max()
+                .unwrap_or(8),
+        );
+        for (c, col) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, v)| format!("{:.2}", v[c]).len())
+                .chain([col.len()])
+                .max()
+                .unwrap_or(8);
+            widths.push(w);
+        }
+        let _ = write!(out, "{:>w$}", self.row_header, w = widths[0]);
+        for (c, col) in self.columns.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", col, w = widths[c + 1]);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{:>w$}", label, w = widths[0]);
+            for (c, v) in values.iter().enumerate() {
+                let _ = write!(out, "  {:>w$.2}", v, w = widths[c + 1]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (`row_header,col1,col2,…`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.row_header);
+        for col in &self.columns {
+            let _ = write!(out, ",{col}");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in values {
+                let _ = write!(out, ",{v:.4}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count the way OSU tables do (`256`, `16K`, `2M`).
+pub fn fmt_bytes(n: usize) -> String {
+    if n >= 1 << 20 && n % (1 << 20) == 0 {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 && n % (1 << 10) == 0 {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Fig X",
+            "size",
+            vec!["HPC-X".into(), "MHA".into()],
+        );
+        t.push("256", vec![10.5, 5.25]);
+        t.push("16K", vec![100.0, 42.0]);
+        t
+    }
+
+    #[test]
+    fn text_table_aligns_and_includes_everything() {
+        let txt = sample().to_text();
+        assert!(txt.contains("# Fig X"));
+        assert!(txt.contains("HPC-X"));
+        assert!(txt.contains("5.25"));
+        assert_eq!(txt.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "size,HPC-X,MHA");
+        assert!(lines[1].starts_with("256,10.5"));
+    }
+
+    #[test]
+    fn byte_formatting_matches_osu_style() {
+        assert_eq!(fmt_bytes(256), "256");
+        assert_eq!(fmt_bytes(16 * 1024), "16K");
+        assert_eq!(fmt_bytes(2 << 20), "2M");
+        assert_eq!(fmt_bytes(1500), "1500");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_rejected() {
+        sample().push("x", vec![1.0]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+    }
+}

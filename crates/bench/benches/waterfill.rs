@@ -1,0 +1,45 @@
+//! Water-filling allocator micro-benchmark: cost of one max-min fair
+//! recomputation as component size grows (the per-event hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_simnet::{FlowSpec, ResourceId, WaterFiller};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waterfill");
+    for flows in [8usize, 32, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let nres = (flows / 2).max(4);
+        let caps: Vec<f64> = (0..nres).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let sets: Vec<Vec<(ResourceId, f64)>> = (0..flows)
+            .map(|_| {
+                let k = rng.gen_range(1..=3usize);
+                let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..nres as u32)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.into_iter()
+                    .map(|r| (ResourceId(r), rng.gen_range(1.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        let flow_caps: Vec<f64> = (0..flows).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let specs: Vec<FlowSpec> = sets
+            .iter()
+            .zip(&flow_caps)
+            .map(|(s, &cap)| FlowSpec { cap, resources: s })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &specs, |b, specs| {
+            let mut filler = WaterFiller::new();
+            let mut rates = Vec::new();
+            b.iter(|| {
+                filler.fill(specs, |r| caps[r.index()], &mut rates);
+                std::hint::black_box(rates.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Extension experiment: hierarchical (node-aggregated) Alltoall vs the
+//! flat shifted-direct algorithm — message-count aggregation at work.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_collectives::{build_direct_alltoall, build_mha_alltoall};
+use mha_sched::ProcGrid;
+use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let grid = ProcGrid::new(8, 8);
+    let mut t = Table::new(
+        "Extension: Alltoall, 8 nodes x 8 PPN",
+        "msg_bytes",
+        vec![
+            "flat_direct_us".into(),
+            "mha_alltoall_us".into(),
+            "gain_pct".into(),
+        ],
+    );
+    for msg in size_sweep(64, 64 * 1024) {
+        let flat = build_direct_alltoall(grid, msg);
+        let mha = build_mha_alltoall(grid, msg, &spec).unwrap();
+        let t_flat = sim.run(&flat.sched).unwrap().latency_us();
+        let t_mha = sim.run(&mha.sched).unwrap().latency_us();
+        t.push(
+            fmt_bytes(msg),
+            vec![t_flat, t_mha, (1.0 - t_mha / t_flat) * 100.0],
+        );
+    }
+    mha_bench::emit(&t, "ablate_alltoall");
+}

@@ -1,0 +1,34 @@
+//! Extension experiment: the multi-HCA-aware recipe applied to Broadcast
+//! (the paper's future work mentions "other collectives") — hierarchical +
+//! segmented + shm-overlapped vs the flat binomial tree.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_collectives::{build_binomial_bcast, build_mha_bcast};
+use mha_sched::{ProcGrid, RankId};
+use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let grid = ProcGrid::new(8, 16);
+    let mut t = Table::new(
+        "Extension: Broadcast, 8 nodes x 16 PPN (segment = 256 KB)",
+        "msg_bytes",
+        vec![
+            "binomial_us".into(),
+            "mha_bcast_us".into(),
+            "gain_pct".into(),
+        ],
+    );
+    for msg in size_sweep(64 * 1024, 16 << 20) {
+        let flat = build_binomial_bcast(grid, msg, RankId(0));
+        let mha = build_mha_bcast(grid, msg, RankId(0), 256 * 1024, &spec).unwrap();
+        let t_flat = sim.run(&flat.sched).unwrap().latency_us();
+        let t_mha = sim.run(&mha.sched).unwrap().latency_us();
+        t.push(
+            fmt_bytes(msg),
+            vec![t_flat, t_mha, (1.0 - t_mha / t_flat) * 100.0],
+        );
+    }
+    mha_bench::emit(&t, "ablate_bcast");
+}

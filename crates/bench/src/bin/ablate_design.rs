@@ -1,0 +1,63 @@
+//! Ablation over the MHA-inter design space: phase-2 algorithm × offload
+//! policy × phase-2/3 overlap — quantifying how much each design choice
+//! of Section 3.2 contributes.
+
+use mha_apps::report::Table;
+use mha_collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let grid = ProcGrid::new(8, 16);
+    let msg = 64 * 1024;
+    let mut t = Table::new(
+        "Ablation: MHA-inter design choices, 8 nodes x 16 PPN, 64 KB per rank",
+        "configuration",
+        vec!["latency_us".into(), "vs_full_design_pct".into()],
+    );
+    let full = MhaInterConfig::default();
+    let full_t = {
+        let built = build_mha_inter(grid, msg, full, &spec).unwrap();
+        sim.run(&built.sched).unwrap().latency_us()
+    };
+    let variants = [
+        ("full design (ring, eq1 offload, overlap)", full),
+        (
+            "no phase-1 offload",
+            MhaInterConfig {
+                offload: Offload::None,
+                ..full
+            },
+        ),
+        (
+            "no phase-2/3 overlap",
+            MhaInterConfig {
+                overlap: false,
+                ..full
+            },
+        ),
+        (
+            "RD phase 2",
+            MhaInterConfig {
+                inter: InterAlgo::RecursiveDoubling,
+                ..full
+            },
+        ),
+        (
+            "RD, no overlap, no offload",
+            MhaInterConfig {
+                inter: InterAlgo::RecursiveDoubling,
+                offload: Offload::None,
+                overlap: false,
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let built = build_mha_inter(grid, msg, cfg, &spec).unwrap();
+        let lat = sim.run(&built.sched).unwrap().latency_us();
+        t.push(name, vec![lat, (lat / full_t - 1.0) * 100.0]);
+    }
+    mha_bench::emit(&t, "ablate_design");
+}

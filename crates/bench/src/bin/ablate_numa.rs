@@ -1,0 +1,53 @@
+//! The future-work experiment (paper Section 7): 3-level NUMA-aware
+//! Allgather versus the NUMA-blind 2-level design on a dual-socket
+//! cluster model, across message sizes.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_collectives::mha::{
+    build_mha_inter, build_mha_numa3, MhaInterConfig, Numa3Config,
+};
+use mha_sched::ProcGrid;
+use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor_numa();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let grid = ProcGrid::new(4, 16);
+    let mut t = Table::new(
+        "Future work: 3-level NUMA-aware vs 2-level NUMA-blind, 4 nodes x 16 PPN \
+         (dual-socket, 7 GB/s effective cross-socket copies)",
+        "msg_bytes",
+        vec![
+            "2level_blind_us".into(),
+            "3level_numa_us".into(),
+            "3level_no_offload_us".into(),
+            "gain_pct".into(),
+        ],
+    );
+    for msg in size_sweep(4096, 1 << 20) {
+        let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
+        let aware = build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
+        let aware_noloop = build_mha_numa3(
+            grid,
+            msg,
+            Numa3Config {
+                offload_xsocket: false,
+            },
+            &spec,
+        )
+        .unwrap();
+        let t_blind = sim.run(&blind.sched).unwrap().latency_us();
+        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
+        let t_noloop = sim.run(&aware_noloop.sched).unwrap().latency_us();
+        t.push(
+            fmt_bytes(msg),
+            vec![
+                t_blind,
+                t_aware,
+                t_noloop,
+                (1.0 - t_aware / t_blind) * 100.0,
+            ],
+        );
+    }
+    mha_bench::emit(&t, "ablate_numa");
+}

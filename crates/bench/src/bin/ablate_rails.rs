@@ -1,0 +1,44 @@
+//! Ablation: how the MHA designs scale with the number of HCAs per node —
+//! the ThetaGPU motivation (up to 8 rails, Section 1.1). Not a paper
+//! figure; quantifies the design's headroom on denser multi-rail nodes.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_collectives::mha::{build_mha_inter, build_mha_intra, MhaInterConfig, Offload};
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, Simulator};
+
+fn main() {
+    let msg = 1 << 20;
+    let mut intra = Table::new(
+        "Ablation: MHA-intra latency (us) vs rail count, 8 processes, 1 MB",
+        "rails",
+        vec!["no_offload".into(), "mha_auto".into(), "gain_pct".into()],
+    );
+    let mut inter = Table::new(
+        "Ablation: MHA-inter latency (us) vs rail count, 8 nodes x 8 PPN, 1 MB",
+        "rails",
+        vec!["latency_us".into()],
+    );
+    for rails in [1u8, 2, 4, 8] {
+        let spec = ClusterSpec::thor_with_rails(rails);
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let grid = ProcGrid::single_node(8);
+        let none = build_mha_intra(grid, msg, Offload::None, &spec).unwrap();
+        let auto = build_mha_intra(grid, msg, Offload::Auto, &spec).unwrap();
+        let t_none = sim.run(&none.sched).unwrap().latency_us();
+        let t_auto = sim.run(&auto.sched).unwrap().latency_us();
+        intra.push(
+            rails.to_string(),
+            vec![t_none, t_auto, (1.0 - t_auto / t_none) * 100.0],
+        );
+        let grid = ProcGrid::new(8, 8);
+        let built = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
+        inter.push(
+            rails.to_string(),
+            vec![sim.run(&built.sched).unwrap().latency_us()],
+        );
+    }
+    let _ = fmt_bytes(msg);
+    mha_bench::emit(&intra, "ablate_rails_intra");
+    mha_bench::emit(&inter, "ablate_rails_inter");
+}

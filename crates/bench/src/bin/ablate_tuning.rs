@@ -1,0 +1,47 @@
+//! Ablation: Eq. 1's analytic offload versus the Figure 5 empirical tuner
+//! across process counts — quantifying how much the congestion-blind
+//! model leaves on the table (the gap that motivates the paper's tuner).
+
+use mha_apps::report::Table;
+use mha_collectives::mha::{
+    build_mha_intra, optimal_offload, tune_offload, Offload,
+};
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let msg = 1 << 20;
+    let mut t = Table::new(
+        "Ablation: Eq.1 analytic offload vs empirical tuner, 1 MB blocks",
+        "processes",
+        vec![
+            "d_eq1".into(),
+            "d_tuned".into(),
+            "eq1_us".into(),
+            "tuned_us".into(),
+            "tuner_gain_pct".into(),
+        ],
+    );
+    for l in [2u32, 4, 8, 16, 32] {
+        let grid = ProcGrid::single_node(l);
+        let d_eq1 = optimal_offload(&spec, l, msg);
+        let (d_tuned, _) = tune_offload(&spec, l, msg).unwrap();
+        let eq1 = build_mha_intra(grid, msg, Offload::Fixed(d_eq1), &spec).unwrap();
+        let tuned = build_mha_intra(grid, msg, Offload::Fixed(d_tuned), &spec).unwrap();
+        let t_eq1 = sim.run(&eq1.sched).unwrap().latency_us();
+        let t_tuned = sim.run(&tuned.sched).unwrap().latency_us();
+        t.push(
+            l.to_string(),
+            vec![
+                f64::from(d_eq1),
+                f64::from(d_tuned),
+                t_eq1,
+                t_tuned,
+                (1.0 - t_tuned / t_eq1) * 100.0,
+            ],
+        );
+    }
+    mha_bench::emit(&t, "ablate_tuning");
+}

@@ -1,0 +1,27 @@
+//! Figure 1: bandwidth comparison between intra-node communication (CMA)
+//! and inter-node communication with one and two HCAs, 8 KB – 4 MB.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_simnet::{pt2pt_bandwidth_mbps, size_sweep, ClusterSpec, Placement, Simulator};
+
+fn main() {
+    let window = 64;
+    let two = Simulator::new(ClusterSpec::thor()).unwrap();
+    let one = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();
+    let mut t = Table::new(
+        "Figure 1: pt2pt bandwidth (MB/s), intra-node CMA vs inter-node 1/2 HCAs",
+        "msg_bytes",
+        vec![
+            "intra-node CMA".into(),
+            "inter-node 1 HCA".into(),
+            "inter-node 2 HCAs".into(),
+        ],
+    );
+    for m in size_sweep(8 * 1024, 4 << 20) {
+        let intra = pt2pt_bandwidth_mbps(&two, Placement::IntraNode, m, window).unwrap();
+        let inter1 = pt2pt_bandwidth_mbps(&one, Placement::InterNode, m, window).unwrap();
+        let inter2 = pt2pt_bandwidth_mbps(&two, Placement::InterNode, m, window).unwrap();
+        t.push(fmt_bytes(m), vec![intra, inter1, inter2]);
+    }
+    mha_bench::emit(&t, "fig01_bandwidth");
+}

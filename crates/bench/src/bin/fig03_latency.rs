@@ -1,0 +1,21 @@
+//! Figure 3: inter-node latency with one and two HCAs (striping halves
+//! large-message latency above the 16 KB threshold).
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_simnet::{pt2pt_latency_us, size_sweep, ClusterSpec, Placement, Simulator};
+
+fn main() {
+    let two = Simulator::new(ClusterSpec::thor()).unwrap();
+    let one = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();
+    let mut t = Table::new(
+        "Figure 3: inter-node pt2pt latency (us), 1 vs 2 HCAs",
+        "msg_bytes",
+        vec!["1 HCA".into(), "2 HCAs".into()],
+    );
+    for m in size_sweep(8 * 1024, 4 << 20) {
+        let l1 = pt2pt_latency_us(&one, Placement::InterNode, m).unwrap();
+        let l2 = pt2pt_latency_us(&two, Placement::InterNode, m).unwrap();
+        t.push(fmt_bytes(m), vec![l1, l2]);
+    }
+    mha_bench::emit(&t, "fig03_latency");
+}

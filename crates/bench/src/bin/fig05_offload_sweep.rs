@@ -1,0 +1,26 @@
+//! Figure 5: latency as a function of the offload size, showing the
+//! V-shaped curve and the optimum the tuning algorithm finds.
+
+use mha_apps::report::Table;
+use mha_collectives::mha::tune_offload;
+use mha_simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    for (l, msg, tag) in [(4u32, 4usize << 20, "L4_4M"), (8, 1 << 20, "L8_1M"), (16, 1 << 20, "L16_1M")] {
+        let (best, curve) = tune_offload(&spec, l, msg).unwrap();
+        let analytic = mha_collectives::mha::optimal_offload(&spec, l, msg);
+        let mut t = Table::new(
+            format!(
+                "Figure 5: offload size vs latency, L={l}, M={msg} \
+                 (tuned optimum d={best}, Eq.1 predicts d={analytic})"
+            ),
+            "offload_d",
+            vec!["latency_us".into()],
+        );
+        for pt in &curve {
+            t.push(pt.d.to_string(), vec![pt.latency_us]);
+        }
+        mha_bench::emit(&t, &format!("fig05_offload_{tag}"));
+    }
+}

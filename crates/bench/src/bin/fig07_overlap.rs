@@ -1,0 +1,68 @@
+//! Figures 6/7: overlap of inter-node transfers with intra-node shm copies
+//! during phases 2/3, Ring vs Recursive Doubling.
+
+use mha_apps::report::Table;
+use mha_collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use mha_sched::ProcGrid;
+use mha_simnet::{intersection_length, ClusterSpec, SimConfig, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let msg = 64 * 1024;
+    let mut t = Table::new(
+        "Figure 6/7: phase-2/3 overlap, 8 nodes, 64 KB per rank \
+         (PPN 4 = network-bound regime, PPN 32 = copy-bound regime)",
+        "config",
+        vec![
+            "latency_us".into(),
+            "net_busy_us".into(),
+            "copy_busy_us".into(),
+            "overlap_us".into(),
+            "overlap_pct_of_net".into(),
+        ],
+    );
+    for (ppn, algo, name) in [
+        (4u32, InterAlgo::Ring, "ppn4/Ring"),
+        (4, InterAlgo::RecursiveDoubling, "ppn4/RD"),
+        (32, InterAlgo::Ring, "ppn32/Ring"),
+        (32, InterAlgo::RecursiveDoubling, "ppn32/RD"),
+    ] {
+        let grid = ProcGrid::new(8, ppn);
+        let cfg = MhaInterConfig {
+            inter: algo,
+            offload: Offload::None, // isolate the phase-2/3 overlap effect
+            overlap: true,
+        };
+        let built = build_mha_inter(grid, msg, cfg, &spec).unwrap();
+        let res = sim
+            .run_with(&built.sched, SimConfig { trace: true })
+            .unwrap();
+        let latency_us = res.latency_us();
+        let trace = res.trace.unwrap();
+        // Phase-2 network transfers carry step tags >= 1000; phase-3
+        // copies >= 2000.
+        let net = trace.intervals_where(|s, m| {
+            let _ = s;
+            m.kind == "rails" && m.step.is_some_and(|st| st >= 1000)
+        });
+        let copies = trace.intervals_where(|s, m| {
+            let _ = s;
+            m.kind == "copy" && m.step.is_some_and(|st| st >= 2000)
+        });
+        let net_busy = mha_simnet::union_length(&net) * 1e6;
+        let copy_busy = mha_simnet::union_length(&copies) * 1e6;
+        let overlap = intersection_length(&net, &copies) * 1e6;
+        t.push(
+            name,
+            vec![
+                latency_us,
+                net_busy,
+                copy_busy,
+                overlap,
+                100.0 * overlap / net_busy.max(1e-12),
+            ],
+        );
+    }
+    mha_bench::emit(&t, "fig07_overlap");
+}

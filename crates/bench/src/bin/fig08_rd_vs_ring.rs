@@ -1,0 +1,34 @@
+//! Figure 8: Ring vs Recursive Doubling in the inter-leader exchange,
+//! 16 and 32 nodes × 32 PPN.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use mha_sched::ProcGrid;
+use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    for nodes in [16u32, 32] {
+        let grid = ProcGrid::new(nodes, 32);
+        let mut t = Table::new(
+            format!("Figure 8: RD vs Ring in phase 2, {nodes} nodes x 32 PPN"),
+            "msg_bytes",
+            vec!["RD_us".into(), "Ring_us".into()],
+        );
+        for msg in size_sweep(4, 1 << 20) {
+            let mut row = Vec::new();
+            for algo in [InterAlgo::RecursiveDoubling, InterAlgo::Ring] {
+                let cfg = MhaInterConfig {
+                    inter: algo,
+                    offload: Offload::Auto,
+                    overlap: true,
+                };
+                let built = build_mha_inter(grid, msg, cfg, &spec).unwrap();
+                row.push(sim.run(&built.sched).unwrap().latency_us());
+            }
+            t.push(fmt_bytes(msg), row);
+        }
+        mha_bench::emit(&t, &format!("fig08_rd_vs_ring_{nodes}n"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 9: validation of the MHA-intra cost model (Eq. 2) against the
+//! simulator, 4 processes, 256 KB – 16 MB.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_model::{calibrate, mean_rel_error, validate_intra};
+use mha_simnet::{size_sweep, ClusterSpec};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let params = calibrate(&spec).unwrap();
+    let sizes = size_sweep(256 * 1024, 16 << 20);
+    let points = validate_intra(&spec, &params, 4, &sizes).unwrap();
+    let mut t = Table::new(
+        format!(
+            "Figure 9: MHA-intra model validation, 4 processes \
+             (mean rel. error {:.1}%)",
+            mean_rel_error(&points) * 100.0
+        ),
+        "msg_bytes",
+        vec!["actual_us".into(), "predicted_us".into(), "rel_err_pct".into()],
+    );
+    for p in &points {
+        t.push(
+            fmt_bytes(p.msg),
+            vec![p.actual_us, p.predicted_us, p.rel_error() * 100.0],
+        );
+    }
+    mha_bench::emit(&t, "fig09_model_intra");
+}

@@ -1,0 +1,29 @@
+//! Figure 10: validation of the MHA-inter cost model (Eqs. 6/7) against
+//! the simulator, 8 nodes × 32 PPN, 1 KB – 1 MB.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_model::{calibrate, mean_rel_error, validate_inter};
+use mha_simnet::{size_sweep, ClusterSpec};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let params = calibrate(&spec).unwrap();
+    let sizes = size_sweep(1024, 1 << 20);
+    let points = validate_inter(&spec, &params, 8, 32, &sizes).unwrap();
+    let mut t = Table::new(
+        format!(
+            "Figure 10: MHA-inter model validation, 8 nodes x 32 PPN \
+             (mean rel. error {:.1}%)",
+            mean_rel_error(&points) * 100.0
+        ),
+        "msg_bytes",
+        vec!["actual_us".into(), "predicted_us".into(), "rel_err_pct".into()],
+    );
+    for p in &points {
+        t.push(
+            fmt_bytes(p.msg),
+            vec![p.actual_us, p.predicted_us, p.rel_error() * 100.0],
+        );
+    }
+    mha_bench::emit(&t, "fig10_model_inter");
+}

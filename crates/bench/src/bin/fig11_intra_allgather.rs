@@ -1,0 +1,23 @@
+//! Figure 11 (a–d): intra-node Allgather vs HPC-X and MVAPICH2-X for
+//! 2/4/8/16 processes, 256 KB – 16 MB.
+
+use mha_apps::{allgather_sweep, paper_contestants};
+use mha_sched::ProcGrid;
+use mha_simnet::{size_sweep, ClusterSpec};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sizes = size_sweep(256 * 1024, 16 << 20);
+    for ppn in [2u32, 4, 8, 16] {
+        let grid = ProcGrid::single_node(ppn);
+        let t = allgather_sweep(
+            &format!("Figure 11: intra-node Allgather latency (us), {ppn} processes"),
+            grid,
+            &sizes,
+            &paper_contestants(),
+            &spec,
+        )
+        .unwrap();
+        mha_bench::emit(&t, &format!("fig11_intra_allgather_{ppn}p"));
+    }
+}

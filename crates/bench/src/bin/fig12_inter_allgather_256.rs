@@ -1,0 +1,29 @@
+//! Figure 12: inter-node Allgather on 256 processes
+//! (8 nodes x 32 PPN), medium and large message sweeps.
+
+use mha_apps::{allgather_sweep, paper_contestants};
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let grid = ProcGrid::new(8, 32);
+    let medium = allgather_sweep(
+        "Figure 12a: Allgather latency (us), 256 processes, medium messages",
+        grid,
+        &mha_bench::medium_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&medium, "fig12_inter_allgather_256_medium");
+    let large = allgather_sweep(
+        "Figure 12b: Allgather latency (us), 256 processes, large messages",
+        grid,
+        &mha_bench::large_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&large, "fig12_inter_allgather_256_large");
+}

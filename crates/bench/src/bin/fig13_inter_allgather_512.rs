@@ -1,0 +1,29 @@
+//! Figure 13: inter-node Allgather on 512 processes
+//! (16 nodes x 32 PPN), medium and large message sweeps.
+
+use mha_apps::{allgather_sweep, paper_contestants};
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let grid = ProcGrid::new(16, 32);
+    let medium = allgather_sweep(
+        "Figure 13a: Allgather latency (us), 512 processes, medium messages",
+        grid,
+        &mha_bench::medium_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&medium, "fig13_inter_allgather_512_medium");
+    let large = allgather_sweep(
+        "Figure 13b: Allgather latency (us), 512 processes, large messages",
+        grid,
+        &mha_bench::large_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&large, "fig13_inter_allgather_512_large");
+}

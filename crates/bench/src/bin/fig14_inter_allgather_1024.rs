@@ -1,0 +1,29 @@
+//! Figure 14: inter-node Allgather on 1024 processes
+//! (32 nodes x 32 PPN), medium and large message sweeps.
+
+use mha_apps::{allgather_sweep, paper_contestants};
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let grid = ProcGrid::new(32, 32);
+    let medium = allgather_sweep(
+        "Figure 14a: Allgather latency (us), 1024 processes, medium messages",
+        grid,
+        &mha_bench::medium_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&medium, "fig14_inter_allgather_1024_medium");
+    let large = allgather_sweep(
+        "Figure 14b: Allgather latency (us), 1024 processes, large messages",
+        grid,
+        &mha_bench::large_sizes(),
+        &paper_contestants(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit(&large, "fig14_inter_allgather_1024_large");
+}

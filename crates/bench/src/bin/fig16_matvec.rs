@@ -1,0 +1,43 @@
+//! Figure 16: matrix–vector multiplication kernel, GFLOP/s (higher is
+//! better), strong scaling of 1024×32768 and weak scaling to 1024×131072.
+
+use mha_apps::matvec::{run_matvec, MatvecConfig};
+use mha_apps::report::Table;
+use mha_apps::{paper_contestants, Contestant};
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+fn sweep(title: &str, cfg_of: impl Fn(ProcGrid) -> MatvecConfig, name: &str, spec: &ClusterSpec) {
+    let contestants = paper_contestants();
+    let mut t = Table::new(
+        title,
+        "processes",
+        contestants.iter().map(Contestant::name).collect(),
+    );
+    for nodes in [8u32, 16, 32] {
+        let grid = ProcGrid::new(nodes, 32);
+        let cfg = cfg_of(grid);
+        let mut row = Vec::new();
+        for c in &contestants {
+            row.push(run_matvec(cfg, *c, spec).unwrap().gflops);
+        }
+        t.push(format!("{} ({}x{})", grid.nranks(), cfg.rows, cfg.cols), row);
+    }
+    mha_bench::emit(&t, name);
+}
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    sweep(
+        "Figure 16a: matvec strong scaling, GFLOP/s (1024 x 32768)",
+        MatvecConfig::strong_scaling,
+        "fig16_matvec_strong",
+        &spec,
+    );
+    sweep(
+        "Figure 16b: matvec weak scaling, GFLOP/s",
+        MatvecConfig::weak_scaling,
+        "fig16_matvec_weak",
+        &spec,
+    );
+}

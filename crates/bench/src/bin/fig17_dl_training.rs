@@ -1,0 +1,46 @@
+//! Figure 17: synthetic Horovod-style training throughput (images/s),
+//! ResNet-50/101/152, batch 16 per worker, MVAPICH2-X vs MHA. (HPC-X is
+//! absent as in the paper — it could not be run with Horovod, Section 5.6.)
+
+use mha_apps::deep_learning::{run_training_step, DlConfig, RESNET101, RESNET152, RESNET50};
+use mha_apps::report::Table;
+use mha_apps::Contestant;
+use mha_collectives::Library;
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    for model in [RESNET50, RESNET101, RESNET152] {
+        let mut t = Table::new(
+            format!(
+                "Figure 17: {} ({:.1} M params), images/sec, batch 16",
+                model.name,
+                model.params as f64 / 1e6
+            ),
+            "processes",
+            vec!["MVAPICH2-X".into(), "MHA".into(), "improvement_pct".into()],
+        );
+        for nodes in [8u32, 16, 32] {
+            let grid = ProcGrid::new(nodes, 32);
+            let cfg = DlConfig {
+                grid,
+                model,
+                batch: 16,
+            };
+            let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
+                .unwrap();
+            let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
+            t.push(
+                grid.nranks().to_string(),
+                vec![
+                    mva.images_per_sec,
+                    mha.images_per_sec,
+                    (mha.images_per_sec / mva.images_per_sec - 1.0) * 100.0,
+                ],
+            );
+        }
+        let tag = model.name.to_lowercase().replace('-', "");
+        mha_bench::emit(&t, &format!("fig17_dl_{tag}"));
+    }
+}

@@ -1,0 +1,81 @@
+//! # mha-bench — Criterion benches and per-figure reproduction binaries
+//!
+//! One binary per table/figure in the paper's evaluation (see DESIGN.md's
+//! experiment index): `cargo run --release -p mha-bench --bin fig11_intra_allgather`
+//! prints the paper-style table and drops a CSV under `results/`.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use mha_apps::report::Table;
+
+/// Directory the `fig*` binaries write CSVs into (`results/` at the
+/// workspace root, honoring `MHA_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MHA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints the table and saves `results/<name>.csv`.
+pub fn emit(table: &Table, name: &str) {
+    println!("{}", table.to_text());
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, table.to_csv()) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a free-form artifact (timelines, op dumps) and saves it as
+/// `results/<name>.txt`.
+pub fn emit_text(content: &str, name: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if std::fs::write(&path, content).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// The paper's "medium" message sweep for Figures 12–14 (256 B – 8 KB).
+pub fn medium_sizes() -> Vec<usize> {
+    mha_simnet::size_sweep(256, 8 * 1024)
+}
+
+/// The paper's "large" message sweep for Figures 12–14 (16 KB – 256 KB).
+pub fn large_sizes() -> Vec<usize> {
+    mha_simnet::size_sweep(16 * 1024, 256 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        let m = medium_sizes();
+        assert_eq!(m.first(), Some(&256));
+        assert_eq!(m.last(), Some(&8192));
+        let l = large_sizes();
+        assert_eq!(l.first(), Some(&16384));
+        assert_eq!(l.last(), Some(&262144));
+    }
+
+    #[test]
+    fn emit_text_writes_artifact() {
+        std::env::set_var("MHA_RESULTS_DIR", "/tmp/mha-bench-selftest");
+        emit_text("hello", "selftest");
+        let body = std::fs::read_to_string("/tmp/mha-bench-selftest/selftest.txt").unwrap();
+        assert_eq!(body, "hello");
+        std::env::remove_var("MHA_RESULTS_DIR");
+    }
+}

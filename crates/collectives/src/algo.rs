@@ -1,0 +1,137 @@
+//! A single dispatchable enumeration of every Allgather in the crate —
+//! what the benchmark harness sweeps over.
+
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+
+use crate::ctx::{Built, BuildError};
+use crate::flat;
+use crate::mha::{self, MhaInterConfig, Offload};
+use crate::twolevel;
+
+/// Every Allgather algorithm the crate implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllgatherAlgo {
+    /// Flat ring (Section 2.2).
+    Ring,
+    /// Flat recursive doubling (power-of-two ranks).
+    RecursiveDoubling,
+    /// Bruck's algorithm (any rank count).
+    Bruck,
+    /// Flat direct spread / dissemination.
+    DirectSpread,
+    /// Single-leader two-level with shm-resident RD exchange
+    /// (Mamidala et al. \[19\]); power-of-two nodes.
+    SingleLeader,
+    /// Multi-leader two-level with sequential phases
+    /// (Kandalla et al. \[14\]).
+    MultiLeader {
+        /// Leader groups per node (must divide ppn).
+        groups: u32,
+    },
+    /// The paper's multi-HCA aware intra-node design (single node only).
+    MhaIntra {
+        /// Offload policy for the HCA transfers.
+        offload: Offload,
+    },
+    /// The paper's hierarchical multi-HCA aware design.
+    MhaInter(MhaInterConfig),
+}
+
+impl AllgatherAlgo {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            AllgatherAlgo::Ring => "ring".into(),
+            AllgatherAlgo::RecursiveDoubling => "rd".into(),
+            AllgatherAlgo::Bruck => "bruck".into(),
+            AllgatherAlgo::DirectSpread => "direct-spread".into(),
+            AllgatherAlgo::SingleLeader => "single-leader".into(),
+            AllgatherAlgo::MultiLeader { groups } => format!("multi-leader(g={groups})"),
+            AllgatherAlgo::MhaIntra { .. } => "mha-intra".into(),
+            AllgatherAlgo::MhaInter(cfg) => match cfg.inter {
+                mha::InterAlgo::Ring => "mha-inter-ring".into(),
+                mha::InterAlgo::RecursiveDoubling => "mha-inter-rd".into(),
+            },
+        }
+    }
+
+    /// Builds the schedule for `grid` and per-rank contribution `msg`.
+    pub fn build(
+        &self,
+        grid: ProcGrid,
+        msg: usize,
+        spec: &ClusterSpec,
+    ) -> Result<Built, BuildError> {
+        match *self {
+            AllgatherAlgo::Ring => Ok(flat::build_ring(grid, msg)),
+            AllgatherAlgo::RecursiveDoubling => flat::build_recursive_doubling(grid, msg),
+            AllgatherAlgo::Bruck => Ok(flat::build_bruck(grid, msg)),
+            AllgatherAlgo::DirectSpread => Ok(flat::build_direct_spread(grid, msg)),
+            AllgatherAlgo::SingleLeader => twolevel::build_single_leader(grid, msg),
+            AllgatherAlgo::MultiLeader { groups } => {
+                twolevel::build_multi_leader(grid, msg, groups)
+            }
+            AllgatherAlgo::MhaIntra { offload } => {
+                mha::build_mha_intra(grid, msg, offload, spec)
+            }
+            AllgatherAlgo::MhaInter(cfg) => mha::build_mha_inter(grid, msg, cfg, spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::testutil::assert_allgather_correct;
+
+    #[test]
+    fn dispatch_builds_every_algorithm() {
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(2, 4);
+        let algos = [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+            AllgatherAlgo::DirectSpread,
+            AllgatherAlgo::SingleLeader,
+            AllgatherAlgo::MultiLeader { groups: 2 },
+            AllgatherAlgo::MhaInter(MhaInterConfig::default()),
+        ];
+        for algo in algos {
+            let built = algo.build(grid, 32, &spec).unwrap();
+            assert_allgather_correct(&built);
+            assert!(!algo.name().is_empty());
+        }
+        // MhaIntra needs a single-node grid.
+        let built = AllgatherAlgo::MhaIntra {
+            offload: Offload::Auto,
+        }
+        .build(ProcGrid::single_node(4), 32, &spec)
+        .unwrap();
+        assert_allgather_correct(&built);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+            AllgatherAlgo::DirectSpread,
+            AllgatherAlgo::SingleLeader,
+            AllgatherAlgo::MultiLeader { groups: 2 },
+            AllgatherAlgo::MhaIntra {
+                offload: Offload::Auto,
+            },
+            AllgatherAlgo::MhaInter(MhaInterConfig::default()),
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

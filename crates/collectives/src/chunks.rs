@@ -1,0 +1,92 @@
+//! Chunk partitioning math shared by the collective algorithms.
+
+/// Byte bounds `(start, end)` of chunk `i` when `total` bytes are split into
+/// `parts` chunks as evenly as possible (the first `total % parts` chunks
+/// get one extra byte). Used by reduce-scatter, which must partition an
+/// arbitrary vector across all ranks.
+pub fn chunk_bounds(total: usize, parts: usize, i: usize) -> (usize, usize) {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(i < parts, "chunk index out of range");
+    let base = total / parts;
+    let extra = total % parts;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    (start, start + len)
+}
+
+/// Length of chunk `i` under [`chunk_bounds`].
+pub fn chunk_len(total: usize, parts: usize, i: usize) -> usize {
+    let (s, e) = chunk_bounds(total, parts, i);
+    e - s
+}
+
+/// Aligned variant: bounds in *elements* scaled by `elem` bytes, keeping
+/// every chunk boundary on an element boundary (needed when chunks feed
+/// typed reductions).
+pub fn chunk_bounds_aligned(total_elems: usize, parts: usize, i: usize, elem: usize) -> (usize, usize) {
+    let (s, e) = chunk_bounds(total_elems, parts, i);
+    (s * elem, e * elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(chunk_bounds(12, 4, 0), (0, 3));
+        assert_eq!(chunk_bounds(12, 4, 3), (9, 12));
+        assert_eq!(chunk_len(12, 4, 2), 3);
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder_to_front() {
+        // 10 into 4: 3,3,2,2
+        assert_eq!(chunk_bounds(10, 4, 0), (0, 3));
+        assert_eq!(chunk_bounds(10, 4, 1), (3, 6));
+        assert_eq!(chunk_bounds(10, 4, 2), (6, 8));
+        assert_eq!(chunk_bounds(10, 4, 3), (8, 10));
+    }
+
+    #[test]
+    fn chunks_tile_the_whole_range() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut pos = 0;
+                for i in 0..parts {
+                    let (s, e) = chunk_bounds(total, parts, i);
+                    assert_eq!(s, pos);
+                    assert!(e >= s);
+                    pos = e;
+                }
+                assert_eq!(pos, total);
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_bytes_yields_empty_tail_chunks() {
+        assert_eq!(chunk_bounds(2, 4, 0), (0, 1));
+        assert_eq!(chunk_bounds(2, 4, 1), (1, 2));
+        assert_eq!(chunk_bounds(2, 4, 2), (2, 2));
+        assert_eq!(chunk_len(2, 4, 3), 0);
+    }
+
+    #[test]
+    fn aligned_bounds_scale_by_element() {
+        assert_eq!(chunk_bounds_aligned(10, 4, 0, 4), (0, 12));
+        assert_eq!(chunk_bounds_aligned(10, 4, 3, 4), (32, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_rejected() {
+        chunk_bounds(4, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_rejected() {
+        chunk_bounds(4, 2, 2);
+    }
+}

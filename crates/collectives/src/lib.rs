@@ -1,0 +1,32 @@
+//! # mha-collectives — the paper's Allgather/Allreduce designs and baselines
+//!
+//! Every algorithm compiles an MPI-style collective into an `mha-sched`
+//! schedule: flat baselines (Ring, Recursive Doubling, Bruck, Direct
+//! Spread), two-level designs (single-leader and Kandalla-style
+//! multi-leader), the paper's multi-HCA-aware contributions (MHA-intra with
+//! HCA offload, hierarchical MHA-inter with an overlapped shared-memory
+//! pipeline), Ring Allreduce with a pluggable Allgather phase, and the
+//! HPC-X / MVAPICH2-X library surrogates the evaluation compares against.
+
+#![warn(missing_docs)]
+
+mod algo;
+mod allreduce;
+mod alltoall;
+mod baselines;
+mod bcast;
+mod chunks;
+mod ctx;
+pub mod flat;
+pub mod mha;
+pub mod tuning;
+pub mod twolevel;
+
+pub use algo::AllgatherAlgo;
+pub use allreduce::{build_ring_allreduce, AllgatherPhase};
+pub use alltoall::{build_direct_alltoall, build_mha_alltoall, AlltoallBuilt};
+pub use baselines::{mha_default_allgather, Library};
+pub use bcast::{build_binomial_bcast, build_mha_bcast, BcastBuilt};
+pub use chunks::{chunk_bounds, chunk_bounds_aligned, chunk_len};
+pub use ctx::{BuildError, Built};
+pub use tuning::{build_tuned_mha, select_inter_algo, InterChoice, TuneError};

@@ -1,0 +1,408 @@
+//! MHA-inter: the hierarchical multi-HCA aware Allgather (Section 3.2).
+//!
+//! Three phases, with phases 2 and 3 overlapped:
+//!
+//! 1. **Node-level aggregation** — MHA-intra (Section 3.1) within each node,
+//!    writing straight into each rank's receive buffer at the node's global
+//!    offset, so every rank already holds its node's full `L · M` block.
+//! 2. **Inter-leader exchange** — one leader per node moves `L · M`-byte
+//!    node blocks over the rails (striped across all HCAs), using Recursive
+//!    Doubling (`log N` steps, doubling sizes) or Ring (`N − 1` steps,
+//!    constant size).
+//! 3. **Node-level distribution** — as soon as a chunk lands, the leader
+//!    copies it into the node's shared-memory segment (the paper's
+//!    chunk-counter, expressed here as a dependency edge) and the members
+//!    copy it out, *while the NIC fetches the next chunk* (Figure 6).
+//!
+//! Ring's constant chunk size keeps the copy pipeline full; RD's doubling
+//! chunks starve it (Figure 7) — both fall out of the dependency structure
+//! here, nothing is hard-coded.
+
+use mha_sched::{BufId, Channel, Loc, OpId, ProcGrid};
+use mha_simnet::ClusterSpec;
+
+use crate::ctx::{Built, BuildError, Ctx};
+use crate::mha::intra::intra_into;
+use crate::mha::offload::{resolve_offload, Offload};
+
+/// The inter-leader exchange algorithm for phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterAlgo {
+    /// `N − 1` constant-size steps; best overlap (Section 3.2).
+    Ring,
+    /// `log₂ N` doubling steps; wins for small messages, loses overlap at
+    /// scale. Requires a power-of-two node count.
+    RecursiveDoubling,
+}
+
+/// Configuration of the hierarchical design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MhaInterConfig {
+    /// Phase-2 algorithm.
+    pub inter: InterAlgo,
+    /// Phase-1 offload policy.
+    pub offload: Offload,
+    /// Whether phase 3 overlaps phase 2 (the paper's design) or strictly
+    /// follows it (the Kandalla-style baseline behaviour).
+    pub overlap: bool,
+}
+
+impl Default for MhaInterConfig {
+    fn default() -> Self {
+        MhaInterConfig {
+            inter: InterAlgo::Ring,
+            offload: Offload::Auto,
+            overlap: true,
+        }
+    }
+}
+
+/// A chunk that arrived at a node leader during phase 2.
+struct Arrival {
+    /// First global rank-block of the chunk.
+    start_block: u32,
+    /// Number of rank-blocks.
+    nblocks: u32,
+    /// The transfer that delivered it.
+    op: OpId,
+}
+
+/// Builds the hierarchical MHA Allgather.
+///
+/// # Errors
+///
+/// [`BuildError::RequiresPowerOfTwo`] if `cfg.inter` is Recursive Doubling
+/// and the node count is not a power of two.
+pub fn build_mha_inter(
+    grid: ProcGrid,
+    msg: usize,
+    cfg: MhaInterConfig,
+    spec: &ClusterSpec,
+) -> Result<Built, BuildError> {
+    let d = resolve_offload(cfg.offload, spec, grid.ppn(), msg);
+    let name = format!(
+        "mha-inter-{}(d={d}{})",
+        match cfg.inter {
+            InterAlgo::Ring => "ring",
+            InterAlgo::RecursiveDoubling => "rd",
+        },
+        if cfg.overlap { "" } else { ",seq" }
+    );
+    let mut ctx = Ctx::new(grid, msg, name);
+    emit_mha_inter(&mut ctx, cfg, spec)?;
+    Ok(ctx.finish())
+}
+
+/// Emits the hierarchical exchange into an existing context (also used as
+/// the Allgather phase of the MHA-accelerated Ring-Allreduce).
+pub(crate) fn emit_mha_inter(
+    ctx: &mut Ctx,
+    cfg: MhaInterConfig,
+    spec: &ClusterSpec,
+) -> Result<(), BuildError> {
+    let grid = ctx.grid();
+    let msg = ctx.msg;
+    let n = grid.nodes();
+    let l = grid.ppn();
+    if cfg.inter == InterAlgo::RecursiveDoubling && !n.is_power_of_two() {
+        return Err(BuildError::RequiresPowerOfTwo {
+            what: "nodes",
+            got: n,
+        });
+    }
+    let d = resolve_offload(cfg.offload, spec, l, msg);
+
+    // ---- Phase 1: node-level aggregation -------------------------------
+    let mut leader_fill: Vec<Vec<OpId>> = Vec::with_capacity(n as usize);
+    for node in grid.node_ids() {
+        let fills = intra_into(ctx, node, d, 0);
+        leader_fill.push(fills.into_iter().next().expect("ppn >= 1"));
+    }
+    if n == 1 {
+        return Ok(());
+    }
+
+    // ---- Phase 2: inter-leader exchange ---------------------------------
+    let node_block = l as usize * msg;
+    let leader = |nd: u32| grid.leader_of(mha_sched::NodeId(nd));
+    // Chunk location inside any rank's receive buffer / the shm segment.
+    let chunk_loc = |buf: BufId, start_block: u32| Loc::new(buf, start_block as usize * msg);
+
+    let mut arrivals: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
+    match cfg.inter {
+        InterAlgo::Ring => {
+            // avail[nd]: ops guaranteeing the block node nd sends this step.
+            let mut avail: Vec<Vec<OpId>> = leader_fill.clone();
+            let mut prev_recv: Vec<Option<OpId>> = vec![None; n as usize];
+            for s in 0..n - 1 {
+                let mut next_avail = Vec::with_capacity(n as usize);
+                let mut next_recv = Vec::with_capacity(n as usize);
+                for nd in 0..n {
+                    let sender = (nd + n - 1) % n;
+                    let block_node = (sender + n - s) % n;
+                    let mut deps = avail[sender as usize].clone();
+                    deps.extend(prev_recv[nd as usize]);
+                    let (lsrc, ldst) = (leader(sender), leader(nd));
+                    let t = ctx.b.transfer(
+                        lsrc,
+                        ldst,
+                        chunk_loc(ctx.recv[lsrc.index()], block_node * l),
+                        chunk_loc(ctx.recv[ldst.index()], block_node * l),
+                        node_block,
+                        Channel::AllRails,
+                        &deps,
+                        1000 + s,
+                    );
+                    arrivals[nd as usize].push(Arrival {
+                        start_block: block_node * l,
+                        nblocks: l,
+                        op: t,
+                    });
+                    next_avail.push(vec![t]);
+                    next_recv.push(Some(t));
+                }
+                avail = next_avail;
+                prev_recv = next_recv;
+            }
+        }
+        InterAlgo::RecursiveDoubling => {
+            // net_cur[nd]: deps representing "node nd's region is current".
+            let mut net_cur: Vec<Vec<OpId>> = leader_fill.clone();
+            let steps = n.trailing_zeros();
+            for k in 0..steps {
+                let dist = 1u32 << k;
+                let mut next_cur = net_cur.clone();
+                for nd in 0..n {
+                    let partner = nd ^ dist;
+                    let pbase = partner & !(dist - 1);
+                    let mut deps = net_cur[partner as usize].clone();
+                    deps.extend(net_cur[nd as usize].iter().copied());
+                    let (lsrc, ldst) = (leader(partner), leader(nd));
+                    let t = ctx.b.transfer(
+                        lsrc,
+                        ldst,
+                        chunk_loc(ctx.recv[lsrc.index()], pbase * l),
+                        chunk_loc(ctx.recv[ldst.index()], pbase * l),
+                        dist as usize * node_block,
+                        Channel::AllRails,
+                        &deps,
+                        1000 + k,
+                    );
+                    arrivals[nd as usize].push(Arrival {
+                        start_block: pbase * l,
+                        nblocks: dist * l,
+                        op: t,
+                    });
+                    let mut cur = net_cur[nd as usize].clone();
+                    cur.push(t);
+                    next_cur[nd as usize] = vec![t];
+                    let _ = cur;
+                }
+                net_cur = next_cur;
+            }
+        }
+    }
+
+    // ---- Phase 3: node-level distribution (overlapped with phase 2) -----
+    for node in grid.node_ids() {
+        let nd = node.0 as usize;
+        // The leader first-touches the segment, so on a NUMA node its pages
+        // land on the leader's socket — ranks of other sockets then pay the
+        // cross-socket interconnect on their copy-outs. (This NUMA
+        // blindness is exactly what the future-work 3-level design fixes.)
+        let shm = if let Some(numa) = spec.numa.as_ref() {
+            let home = numa.socket_of(&grid, grid.leader_of(node));
+            ctx.b.shared_buf_homed(
+                node,
+                home,
+                grid.nranks() as usize * msg,
+                format!("shm/{node}"),
+            )
+        } else {
+            ctx.b
+                .shared_buf(node, grid.nranks() as usize * msg, format!("shm/{node}"))
+        };
+        let lead = grid.leader_of(node);
+        let last_recv = arrivals[nd].last().expect("n >= 2 has arrivals").op;
+        for (idx, arr) in arrivals[nd].iter().enumerate() {
+            let gate = if cfg.overlap { arr.op } else { last_recv };
+            let len = arr.nblocks as usize * msg;
+            let src = chunk_loc(ctx.recv[lead.index()], arr.start_block);
+            let dst = chunk_loc(shm, arr.start_block);
+            let deps = ctx.cur.deps_with(lead, &[gate]);
+            let cin = ctx
+                .b
+                .copy(lead, src, dst, len, &deps, 2000 + idx as u32);
+            ctx.cur.advance(lead, cin);
+            for lr in 1..l {
+                let m = grid.rank_on(node, lr);
+                let deps = ctx.cur.deps_with(m, &[cin]);
+                let cout = ctx.b.copy(
+                    m,
+                    chunk_loc(shm, arr.start_block),
+                    chunk_loc(ctx.recv[m.index()], arr.start_block),
+                    len,
+                    &deps,
+                    3000 + idx as u32,
+                );
+                ctx.cur.advance(m, cout);
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::testutil::assert_allgather_correct;
+    use mha_simnet::Simulator;
+
+    fn thor() -> ClusterSpec {
+        ClusterSpec::thor()
+    }
+
+    fn cfg(inter: InterAlgo, overlap: bool) -> MhaInterConfig {
+        MhaInterConfig {
+            inter,
+            offload: Offload::Auto,
+            overlap,
+        }
+    }
+
+    #[test]
+    fn ring_variant_is_correct() {
+        for (nodes, ppn) in [(2, 2), (3, 2), (4, 4), (5, 3), (8, 2), (2, 1)] {
+            let built = build_mha_inter(
+                ProcGrid::new(nodes, ppn),
+                16,
+                cfg(InterAlgo::Ring, true),
+                &thor(),
+            )
+            .unwrap();
+            assert_allgather_correct(&built);
+        }
+    }
+
+    #[test]
+    fn rd_variant_is_correct_for_power_of_two_nodes() {
+        for (nodes, ppn) in [(2, 2), (4, 3), (8, 2), (4, 1)] {
+            let built = build_mha_inter(
+                ProcGrid::new(nodes, ppn),
+                16,
+                cfg(InterAlgo::RecursiveDoubling, true),
+                &thor(),
+            )
+            .unwrap();
+            assert_allgather_correct(&built);
+        }
+    }
+
+    #[test]
+    fn sequential_variants_are_also_correct() {
+        for inter in [InterAlgo::Ring, InterAlgo::RecursiveDoubling] {
+            let built =
+                build_mha_inter(ProcGrid::new(4, 2), 16, cfg(inter, false), &thor()).unwrap();
+            assert_allgather_correct(&built);
+        }
+    }
+
+    #[test]
+    fn rd_rejects_non_power_of_two_nodes() {
+        let err = build_mha_inter(
+            ProcGrid::new(3, 2),
+            8,
+            cfg(InterAlgo::RecursiveDoubling, true),
+            &thor(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::RequiresPowerOfTwo { .. }));
+    }
+
+    #[test]
+    fn single_node_degenerates_to_mha_intra() {
+        let built =
+            build_mha_inter(ProcGrid::new(1, 4), 16, cfg(InterAlgo::Ring, true), &thor())
+                .unwrap();
+        assert_allgather_correct(&built);
+        assert_eq!(built.sched.stats().steps, 4); // intra steps only
+    }
+
+    #[test]
+    fn overlap_beats_sequential_phases() {
+        // The core claim of Section 3.2 / Figure 6.
+        let sim = Simulator::new(thor()).unwrap();
+        let grid = ProcGrid::new(8, 8);
+        let msg = 256 * 1024;
+        let over = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, true), &thor()).unwrap();
+        let seq = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, false), &thor()).unwrap();
+        let t_over = sim.run(&over.sched).unwrap().latency_us();
+        let t_seq = sim.run(&seq.sched).unwrap().latency_us();
+        assert!(
+            t_over < t_seq * 0.95,
+            "overlap {t_over} should beat sequential {t_seq}"
+        );
+    }
+
+    #[test]
+    fn ring_beats_rd_for_large_messages_at_scale() {
+        // Figure 8's large-message regime.
+        let sim = Simulator::new(thor()).unwrap();
+        let grid = ProcGrid::new(16, 8);
+        let msg = 128 * 1024;
+        let ring = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, true), &thor()).unwrap();
+        let rd =
+            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor())
+                .unwrap();
+        let t_ring = sim.run(&ring.sched).unwrap().latency_us();
+        let t_rd = sim.run(&rd.sched).unwrap().latency_us();
+        assert!(t_ring < t_rd, "ring {t_ring} vs rd {t_rd}");
+    }
+
+    #[test]
+    fn rd_beats_ring_for_small_messages() {
+        // Figure 8's small-message regime: log N startup terms win.
+        let sim = Simulator::new(thor()).unwrap();
+        let grid = ProcGrid::new(16, 8);
+        let msg = 16;
+        let ring = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, true), &thor()).unwrap();
+        let rd =
+            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor())
+                .unwrap();
+        let t_ring = sim.run(&ring.sched).unwrap().latency_us();
+        let t_rd = sim.run(&rd.sched).unwrap().latency_us();
+        assert!(t_rd < t_ring, "rd {t_rd} vs ring {t_ring}");
+    }
+
+    #[test]
+    fn phase2_traffic_is_rail_only() {
+        // The hierarchy's point: inter-node traffic never rides CMA.
+        let built = build_mha_inter(
+            ProcGrid::new(4, 4),
+            64,
+            MhaInterConfig {
+                offload: Offload::None,
+                ..Default::default()
+            },
+            &thor(),
+        )
+        .unwrap();
+        for op in built.sched.ops() {
+            if let mha_sched::OpKind::Transfer {
+                src_rank,
+                dst_rank,
+                channel,
+                ..
+            } = &op.kind
+            {
+                if !built.sched.grid().same_node(*src_rank, *dst_rank) {
+                    assert!(matches!(channel, Channel::AllRails));
+                    // Only leaders speak across nodes.
+                    assert!(built.sched.grid().is_leader(*src_rank));
+                    assert!(built.sched.grid().is_leader(*dst_rank));
+                }
+            }
+        }
+    }
+}

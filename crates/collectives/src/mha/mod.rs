@@ -1,0 +1,12 @@
+//! The paper's multi-HCA aware Allgather designs (Section 3).
+
+mod inter;
+mod intra;
+mod numa3;
+mod offload;
+
+pub use inter::{build_mha_inter, InterAlgo, MhaInterConfig};
+pub(crate) use inter::emit_mha_inter;
+pub use intra::build_mha_intra;
+pub use numa3::{build_mha_numa3, Numa3Config};
+pub use offload::{optimal_offload, resolve_offload, tune_offload, Offload, OffloadSweep};

@@ -1,0 +1,406 @@
+//! The 3-level NUMA-aware Allgather — the paper's stated future work:
+//! *"We can have a 3-level design with the overlapping of intra-socket,
+//! inter-socket, and inter-node communication"* (Section 7).
+//!
+//! Levels:
+//!
+//! 1. **Intra-socket** — Direct Spread over CMA among the ranks of one
+//!    socket; all traffic stays on the local memory controller.
+//! 2. **Inter-socket** — each socket leader imports the *other* sockets'
+//!    aggregated regions in one transfer per region: across the
+//!    interconnect once (instead of once per member, which is what a
+//!    NUMA-blind design effectively does), or offloaded to the HCAs, whose
+//!    DMA path bypasses the inter-socket link entirely. Members then pull
+//!    the imported region from their own socket leader over same-socket
+//!    CMA.
+//! 3. **Inter-node** — the node leader runs the Ring exchange of
+//!    Section 3.2 over all rails; arrived chunks are distributed through
+//!    *per-socket* shared-memory segments (each homed on its socket, so
+//!    copy-outs never cross the interconnect; only the socket-relay
+//!    copy-in does, once per chunk) — overlapped with the exchange exactly
+//!    like the 2-level design.
+
+use mha_sched::{Channel, Loc, NodeId, OpId, ProcGrid, RankId};
+use mha_simnet::ClusterSpec;
+
+use crate::ctx::{Built, BuildError, Ctx};
+
+/// Configuration of the 3-level design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Numa3Config {
+    /// Import other-socket regions via NIC loopback (true — the
+    /// multi-HCA-aware choice) or over the inter-socket link (false).
+    pub offload_xsocket: bool,
+}
+
+impl Default for Numa3Config {
+    fn default() -> Self {
+        Numa3Config {
+            offload_xsocket: true,
+        }
+    }
+}
+
+/// Builds the 3-level NUMA-aware Allgather.
+///
+/// # Errors
+///
+/// [`BuildError::BadParameter`] unless the cluster spec carries a NUMA
+/// layout and the socket count divides the processes per node.
+pub fn build_mha_numa3(
+    grid: ProcGrid,
+    msg: usize,
+    cfg: Numa3Config,
+    spec: &ClusterSpec,
+) -> Result<Built, BuildError> {
+    let Some(numa) = spec.numa.as_ref() else {
+        return Err(BuildError::BadParameter(
+            "the 3-level design needs a cluster spec with NUMA modeling (ClusterSpec::thor_numa)"
+                .into(),
+        ));
+    };
+    let n = grid.nodes();
+    let l = grid.ppn();
+    let s = numa.sockets;
+    if l % s != 0 {
+        return Err(BuildError::BadParameter(format!(
+            "{s} sockets do not divide {l} processes per node"
+        )));
+    }
+    let ls = l / s; // ranks per socket
+    let mut ctx = Ctx::new(grid, msg, "mha-numa3");
+
+    // Socket leader of (node, socket).
+    let sleader = |node: NodeId, sck: u32| grid.rank_on(node, sck * ls);
+
+    // ---- Level 1: intra-socket Direct Spread ----------------------------
+    // fills[node][socket]: ops after which the *socket leader* holds the
+    // socket's full region.
+    let mut leader_fill: Vec<Vec<Vec<OpId>>> = Vec::with_capacity(n as usize);
+    for node in grid.node_ids() {
+        let mut per_socket = Vec::with_capacity(s as usize);
+        for sck in 0..s {
+            let ranks: Vec<RankId> = (0..ls).map(|j| grid.rank_on(node, sck * ls + j)).collect();
+            let mut leader_ops = Vec::new();
+            for (i, &me) in ranks.iter().enumerate() {
+                let mut ops = vec![ctx.self_copy(me, 0)];
+                for d in 1..ranks.len() {
+                    let peer = ranks[(i + ranks.len() - d) % ranks.len()];
+                    let mut deps = ctx.cur.deps_of(me);
+                    deps.extend(ctx.ready_deps(peer));
+                    let t = ctx.b.transfer(
+                        peer,
+                        me,
+                        ctx.send_loc(peer),
+                        ctx.recv_block(me, peer.0),
+                        msg,
+                        Channel::Cma,
+                        &deps,
+                        d as u32,
+                    );
+                    ctx.cur.advance(me, t);
+                    ops.push(t);
+                }
+                if i == 0 {
+                    leader_ops = ops;
+                }
+            }
+            per_socket.push(leader_ops);
+        }
+        leader_fill.push(per_socket);
+    }
+
+    // ---- Level 2: inter-socket exchange (overlappable) -------------------
+    // Socket leaders import every other socket's region once, then their
+    // members pull it over same-socket CMA. node_done[node]: ops after
+    // which the *node leader* holds the full node block.
+    let region_bytes = ls as usize * msg;
+    let mut node_done: Vec<Vec<OpId>> = Vec::with_capacity(n as usize);
+    for node in grid.node_ids() {
+        let mut done = leader_fill[node.index()][0].clone();
+        for sck in 0..s {
+            let me = sleader(node, sck);
+            for other in 0..s {
+                if other == sck {
+                    continue;
+                }
+                let peer = sleader(node, other);
+                let first_block = peer.0; // regions are rank-contiguous
+                let channel = if cfg.offload_xsocket {
+                    Channel::AllRails // NIC loopback: bypasses the UPI link
+                } else {
+                    Channel::Cma // pays the cross-socket interconnect once
+                };
+                let mut deps = leader_fill[node.index()][other as usize].clone();
+                deps.extend(ctx.cur.deps_of(me));
+                let import = ctx.b.transfer(
+                    peer,
+                    me,
+                    ctx.recv_block(peer, first_block),
+                    ctx.recv_block(me, first_block),
+                    region_bytes,
+                    channel,
+                    &deps,
+                    100 + other,
+                );
+                if channel == Channel::Cma {
+                    ctx.cur.advance(me, import);
+                }
+                if sck == 0 {
+                    done.push(import);
+                }
+                // Socket members pull the imported region from their
+                // leader (same-socket CMA), pipelined per member.
+                for j in 1..ls {
+                    let member = grid.rank_on(node, sck * ls + j);
+                    let deps = ctx.cur.deps_with(member, &[import]);
+                    let t = ctx.b.transfer(
+                        me,
+                        member,
+                        ctx.recv_block(me, first_block),
+                        ctx.recv_block(member, first_block),
+                        region_bytes,
+                        Channel::Cma,
+                        &deps,
+                        200 + other,
+                    );
+                    ctx.cur.advance(member, t);
+                }
+            }
+        }
+        node_done.push(done);
+    }
+    if n == 1 {
+        return Ok(ctx.finish());
+    }
+
+    // ---- Level 3: inter-node Ring + per-socket shm distribution ----------
+    let node_block = l as usize * msg;
+    let leader = |nd: u32| grid.leader_of(NodeId(nd));
+    // Per-(node, socket) shm segments, homed on their socket.
+    let shm: Vec<Vec<_>> = grid
+        .node_ids()
+        .map(|node| {
+            (0..s)
+                .map(|sck| {
+                    ctx.b.shared_buf_homed(
+                        node,
+                        sck,
+                        grid.nranks() as usize * msg,
+                        format!("shm/{node}/s{sck}"),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut arrivals: Vec<Vec<(u32, OpId)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut avail: Vec<Vec<OpId>> = node_done;
+    let mut prev_recv: Vec<Option<OpId>> = vec![None; n as usize];
+    for step in 0..n - 1 {
+        let mut next_avail = Vec::with_capacity(n as usize);
+        let mut next_recv = Vec::with_capacity(n as usize);
+        for nd in 0..n {
+            let sender = (nd + n - 1) % n;
+            let block_node = (sender + n - step) % n;
+            let mut deps = avail[sender as usize].clone();
+            deps.extend(prev_recv[nd as usize]);
+            let (lsrc, ldst) = (leader(sender), leader(nd));
+            let t = ctx.b.transfer(
+                lsrc,
+                ldst,
+                Loc::new(ctx.recv[lsrc.index()], block_node as usize * node_block),
+                Loc::new(ctx.recv[ldst.index()], block_node as usize * node_block),
+                node_block,
+                Channel::AllRails,
+                &deps,
+                1000 + step,
+            );
+            arrivals[nd as usize].push((block_node, t));
+            next_avail.push(vec![t]);
+            next_recv.push(Some(t));
+        }
+        avail = next_avail;
+        prev_recv = next_recv;
+    }
+
+    for node in grid.node_ids() {
+        let nd = node.index();
+        for (idx, &(block_node, gate)) in arrivals[nd].iter().enumerate() {
+            let off = block_node as usize * node_block;
+            // Socket-0 leader (= node leader) publishes into its socket's
+            // shm; each other socket's leader relays into its own shm
+            // (one interconnect crossing per chunk per socket).
+            let mut publish: Vec<OpId> = Vec::with_capacity(s as usize);
+            for sck in 0..s {
+                let actor = sleader(node, sck);
+                let (src, dep): (Loc, Vec<OpId>) = if sck == 0 {
+                    (
+                        Loc::new(ctx.recv[actor.index()], off),
+                        ctx.cur.deps_with(actor, &[gate]),
+                    )
+                } else {
+                    (
+                        Loc::new(shm[nd][0], off),
+                        ctx.cur.deps_with(actor, &[publish[0]]),
+                    )
+                };
+                let cin = ctx.b.copy(
+                    actor,
+                    src,
+                    Loc::new(shm[nd][sck as usize], off),
+                    node_block,
+                    &dep,
+                    2000 + idx as u32,
+                );
+                ctx.cur.advance(actor, cin);
+                publish.push(cin);
+                // Non-leader ranks of the socket copy out locally; the
+                // relayed chunk also completes the relaying leader's recv.
+                if sck > 0 {
+                    let deps = ctx.cur.deps_with(actor, &[cin]);
+                    let own = ctx.b.copy(
+                        actor,
+                        Loc::new(shm[nd][sck as usize], off),
+                        Loc::new(ctx.recv[actor.index()], off),
+                        node_block,
+                        &deps,
+                        3000 + idx as u32,
+                    );
+                    ctx.cur.advance(actor, own);
+                }
+                for j in 1..ls {
+                    let member = grid.rank_on(node, sck * ls + j);
+                    let deps = ctx.cur.deps_with(member, &[cin]);
+                    let cout = ctx.b.copy(
+                        member,
+                        Loc::new(shm[nd][sck as usize], off),
+                        Loc::new(ctx.recv[member.index()], off),
+                        node_block,
+                        &deps,
+                        3000 + idx as u32,
+                    );
+                    ctx.cur.advance(member, cout);
+                }
+            }
+        }
+    }
+    Ok(ctx.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::testutil::assert_allgather_correct;
+    use crate::mha::{build_mha_inter, MhaInterConfig};
+    use mha_simnet::Simulator;
+
+    fn numa_spec() -> ClusterSpec {
+        ClusterSpec::thor_numa()
+    }
+
+    #[test]
+    fn numa3_is_correct() {
+        for (nodes, ppn) in [(1u32, 4u32), (1, 8), (2, 4), (3, 4), (4, 8), (2, 2)] {
+            let built = build_mha_numa3(
+                ProcGrid::new(nodes, ppn),
+                24,
+                Numa3Config::default(),
+                &numa_spec(),
+            )
+            .unwrap();
+            assert_allgather_correct(&built);
+        }
+    }
+
+    #[test]
+    fn numa3_without_offload_is_also_correct() {
+        let built = build_mha_numa3(
+            ProcGrid::new(2, 8),
+            16,
+            Numa3Config {
+                offload_xsocket: false,
+            },
+            &numa_spec(),
+        )
+        .unwrap();
+        assert_allgather_correct(&built);
+    }
+
+    #[test]
+    fn numa3_requires_numa_spec_and_divisible_ppn() {
+        assert!(matches!(
+            build_mha_numa3(
+                ProcGrid::new(2, 4),
+                8,
+                Numa3Config::default(),
+                &ClusterSpec::thor()
+            ),
+            Err(BuildError::BadParameter(_))
+        ));
+        assert!(matches!(
+            build_mha_numa3(
+                ProcGrid::new(2, 5),
+                8,
+                Numa3Config::default(),
+                &numa_spec()
+            ),
+            Err(BuildError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn numa3_beats_numa_blind_mha_inter_on_numa_hardware() {
+        // The point of the future-work design: on a NUMA node, the 2-level
+        // design's phase 1 bounces half its CMA fetches across the
+        // interconnect; the 3-level design crosses it once per region.
+        let spec = numa_spec();
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let grid = ProcGrid::new(2, 16);
+        let msg = 512 * 1024;
+        let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
+        let aware =
+            build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
+        let t_blind = sim.run(&blind.sched).unwrap().latency_us();
+        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
+        assert!(
+            t_aware < t_blind,
+            "numa3 {t_aware} should beat numa-blind {t_blind}"
+        );
+    }
+
+    #[test]
+    fn numa3_matches_2level_when_interconnect_is_free() {
+        // With an (unphysically) fast interconnect the two designs price
+        // similarly — the gap really is the cross-socket path.
+        let mut spec = numa_spec();
+        if let Some(numa) = spec.numa.as_mut() {
+            numa.xsocket_bw = 1e12;
+            numa.xsocket_alpha = 0.0;
+        }
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let grid = ProcGrid::new(2, 8);
+        let msg = 256 * 1024;
+        let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
+        let aware = build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
+        let t_blind = sim.run(&blind.sched).unwrap().latency_us();
+        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
+        let ratio = t_aware / t_blind;
+        assert!(ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_node_numa3_works_as_socket_hierarchy() {
+        let spec = numa_spec();
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let built = build_mha_numa3(
+            ProcGrid::new(1, 16),
+            64 * 1024,
+            Numa3Config::default(),
+            &spec,
+        )
+        .unwrap();
+        assert_allgather_correct(&built);
+        assert!(sim.run(&built.sched).unwrap().makespan > 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulation-driven tuning of the MHA design space.
+//!
+//! Section 5.3: "The numbers shown are tuned numbers between these two
+//! algorithms" — the paper picks Ring or Recursive Doubling per message
+//! size. [`select_inter_algo`] reproduces that tuning loop by pricing both
+//! variants on the simulator and keeping the winner; combined with the
+//! Figure 5 offload tuner ([`crate::mha::tune_offload`]) this is the full
+//! autotuning story of the paper.
+
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, SimError, Simulator};
+
+use crate::ctx::{Built, BuildError};
+use crate::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+
+/// The outcome of one Ring-vs-RD tuning decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterChoice {
+    /// The faster phase-2 algorithm at this point.
+    pub algo: InterAlgo,
+    /// Simulated latency of the Ring variant (µs).
+    pub ring_us: f64,
+    /// Simulated latency of the RD variant (µs), if buildable
+    /// (`None` for non-power-of-two node counts).
+    pub rd_us: Option<f64>,
+}
+
+/// An error from the tuning loop.
+#[derive(Debug)]
+pub enum TuneError {
+    /// A candidate failed to build.
+    Build(BuildError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::Build(e) => write!(f, "build failed: {e}"),
+            TuneError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<BuildError> for TuneError {
+    fn from(e: BuildError) -> Self {
+        TuneError::Build(e)
+    }
+}
+
+impl From<SimError> for TuneError {
+    fn from(e: SimError) -> Self {
+        TuneError::Sim(e)
+    }
+}
+
+/// Prices both phase-2 algorithms on the simulator and returns the winner
+/// (RD is skipped for non-power-of-two node counts, where only Ring is
+/// legal).
+pub fn select_inter_algo(
+    grid: ProcGrid,
+    msg: usize,
+    offload: Offload,
+    spec: &ClusterSpec,
+) -> Result<InterChoice, TuneError> {
+    let sim = Simulator::new(spec.clone())?;
+    let ring_cfg = MhaInterConfig {
+        inter: InterAlgo::Ring,
+        offload,
+        overlap: true,
+    };
+    let ring = build_mha_inter(grid, msg, ring_cfg, spec)?;
+    let ring_us = sim.run(&ring.sched)?.latency_us();
+    if !grid.nodes().is_power_of_two() {
+        return Ok(InterChoice {
+            algo: InterAlgo::Ring,
+            ring_us,
+            rd_us: None,
+        });
+    }
+    let rd_cfg = MhaInterConfig {
+        inter: InterAlgo::RecursiveDoubling,
+        offload,
+        overlap: true,
+    };
+    let rd = build_mha_inter(grid, msg, rd_cfg, spec)?;
+    let rd_us = sim.run(&rd.sched)?.latency_us();
+    let algo = if rd_us < ring_us {
+        InterAlgo::RecursiveDoubling
+    } else {
+        InterAlgo::Ring
+    };
+    Ok(InterChoice {
+        algo,
+        ring_us,
+        rd_us: Some(rd_us),
+    })
+}
+
+/// Builds the *tuned* MHA Allgather at this point — the configuration the
+/// paper reports in Figures 12–14.
+pub fn build_tuned_mha(
+    grid: ProcGrid,
+    msg: usize,
+    spec: &ClusterSpec,
+) -> Result<(Built, InterChoice), TuneError> {
+    let choice = select_inter_algo(grid, msg, Offload::Auto, spec)?;
+    let cfg = MhaInterConfig {
+        inter: choice.algo,
+        offload: Offload::Auto,
+        overlap: true,
+    };
+    let built = build_mha_inter(grid, msg, cfg, spec)?;
+    Ok((built, choice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_picks_rd_small_and_ring_large() {
+        // The Figure 8 crossover.
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(16, 8);
+        let small = select_inter_algo(grid, 16, Offload::Auto, &spec).unwrap();
+        assert_eq!(small.algo, InterAlgo::RecursiveDoubling, "{small:?}");
+        let large = select_inter_algo(grid, 256 * 1024, Offload::Auto, &spec).unwrap();
+        assert_eq!(large.algo, InterAlgo::Ring, "{large:?}");
+    }
+
+    #[test]
+    fn non_power_of_two_nodes_forces_ring() {
+        let spec = ClusterSpec::thor();
+        let choice =
+            select_inter_algo(ProcGrid::new(3, 4), 1024, Offload::Auto, &spec).unwrap();
+        assert_eq!(choice.algo, InterAlgo::Ring);
+        assert!(choice.rd_us.is_none());
+    }
+
+    #[test]
+    fn tuned_build_matches_reported_choice() {
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(4, 4);
+        let (built, choice) = build_tuned_mha(grid, 64 * 1024, &spec).unwrap();
+        let name = built.sched.name().to_string();
+        match choice.algo {
+            InterAlgo::Ring => assert!(name.contains("ring"), "{name}"),
+            InterAlgo::RecursiveDoubling => assert!(name.contains("rd"), "{name}"),
+        }
+        // The tuned latency is the min of the two candidates.
+        if let Some(rd) = choice.rd_us {
+            let best = choice.ring_us.min(rd);
+            let sim = Simulator::new(spec).unwrap();
+            let got = sim.run(&built.sched).unwrap().latency_us();
+            assert!((got - best).abs() < 1e-6 * best);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Schedule executors over real byte buffers.
+//!
+//! Two interpreters with identical semantics:
+//!
+//! * [`run_single`] — deterministic, sequential, in creation (= topological)
+//!   order. The reference implementation.
+//! * [`run_threaded`] — a dependency-driven worker pool: ops become ready
+//!   when their last dependency retires; any worker may claim any ready op.
+//!   For schedules that pass `mha_sched::check_races` the result equals the
+//!   sequential one regardless of interleaving — which the test suite
+//!   exercises aggressively.
+//!
+//! Neither executor models *time*; that is `mha-simnet`'s job. These exist
+//! to prove every algorithm's data movement is correct (offsets, chunking,
+//! reduction arithmetic, shm hand-offs).
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crossbeam::channel;
+
+use mha_sched::{DType, OpKind, RedOp, Schedule};
+
+use crate::memory::BufferStore;
+
+/// An execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The schedule failed structural validation.
+    InvalidSchedule(mha_sched::ValidateError),
+    /// A worker thread panicked.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+            ExecError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<mha_sched::ValidateError> for ExecError {
+    fn from(e: mha_sched::ValidateError) -> Self {
+        ExecError::InvalidSchedule(e)
+    }
+}
+
+fn sum_elem(dtype: DType, acc: &mut [u8], op: &[u8]) {
+    match dtype {
+        DType::F32 => {
+            let x = f32::from_ne_bytes(acc.try_into().unwrap())
+                + f32::from_ne_bytes(op.try_into().unwrap());
+            acc.copy_from_slice(&x.to_ne_bytes());
+        }
+        DType::F64 => {
+            let x = f64::from_ne_bytes(acc.try_into().unwrap())
+                + f64::from_ne_bytes(op.try_into().unwrap());
+            acc.copy_from_slice(&x.to_ne_bytes());
+        }
+    }
+}
+
+fn max_elem(dtype: DType, acc: &mut [u8], op: &[u8]) {
+    match dtype {
+        DType::F32 => {
+            let x = f32::from_ne_bytes(acc.try_into().unwrap())
+                .max(f32::from_ne_bytes(op.try_into().unwrap()));
+            acc.copy_from_slice(&x.to_ne_bytes());
+        }
+        DType::F64 => {
+            let x = f64::from_ne_bytes(acc.try_into().unwrap())
+                .max(f64::from_ne_bytes(op.try_into().unwrap()));
+            acc.copy_from_slice(&x.to_ne_bytes());
+        }
+    }
+}
+
+fn execute_op(kind: &OpKind, store: &BufferStore) {
+    match kind {
+        OpKind::Transfer { src, dst, len, .. } | OpKind::Copy { src, dst, len, .. } => {
+            store.copy_bytes(*src, *dst, *len);
+        }
+        OpKind::Reduce {
+            acc,
+            operand,
+            len,
+            dtype,
+            op,
+            ..
+        } => {
+            let d = *dtype;
+            match op {
+                RedOp::Sum => {
+                    store.combine_bytes(*acc, *operand, *len, d.size(), |a, o| sum_elem(d, a, o))
+                }
+                RedOp::Max => {
+                    store.combine_bytes(*acc, *operand, *len, d.size(), |a, o| max_elem(d, a, o))
+                }
+            }
+        }
+        OpKind::Compute { .. } => {
+            // Pure time cost; nothing to do for correctness.
+        }
+    }
+}
+
+/// Executes `sch` sequentially in creation order.
+pub fn run_single(sch: &Schedule, store: &BufferStore) -> Result<(), ExecError> {
+    mha_sched::validate(sch, None)?;
+    for op in sch.ops() {
+        execute_op(&op.kind, store);
+    }
+    Ok(())
+}
+
+/// Executes `sch` on `threads` worker threads, honoring only the DAG's
+/// dependency edges (any topological interleaving may occur).
+pub fn run_threaded(sch: &Schedule, store: &BufferStore, threads: usize) -> Result<(), ExecError> {
+    assert!(threads > 0, "need at least one worker");
+    mha_sched::validate(sch, None)?;
+    let n = sch.ops().len();
+    if n == 0 {
+        return Ok(());
+    }
+    let succ = sch.successors();
+    let indeg: Vec<AtomicU32> = sch
+        .indegrees()
+        .into_iter()
+        .map(AtomicU32::new)
+        .collect();
+    let done = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for (i, op) in sch.ops().iter().enumerate() {
+        if op.deps.is_empty() {
+            tx.send(i).expect("queue open");
+        }
+    }
+
+    let panicked = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let succ = &succ;
+            let indeg = &indeg;
+            let done = &done;
+            handles.push(scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    if i == usize::MAX {
+                        break;
+                    }
+                    execute_op(&sch.ops()[i].kind, store);
+                    for &s in &succ[i] {
+                        if indeg[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            tx.send(s.index()).expect("queue open");
+                        }
+                    }
+                    if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                        // All done: release every worker.
+                        for _ in 0..threads {
+                            tx.send(usize::MAX).expect("queue open");
+                        }
+                    }
+                }
+            }));
+        }
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+
+    if panicked {
+        return Err(ExecError::WorkerPanicked);
+    }
+    assert_eq!(
+        done.load(Ordering::Acquire),
+        n,
+        "threaded execution stalled (cyclic or broken DAG?)"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+
+    /// A chain of copies relaying a pattern through several buffers.
+    fn relay_schedule(hops: usize) -> Schedule {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "relay");
+        let bufs: Vec<_> = (0..=hops)
+            .map(|i| b.private_buf(RankId(0), 16, format!("b{i}")))
+            .collect();
+        let mut prev = None;
+        for w in bufs.windows(2) {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.copy(
+                RankId(0),
+                Loc::new(w[0], 0),
+                Loc::new(w[1], 0),
+                16,
+                &deps,
+                0,
+            ));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_executes_relay() {
+        let sch = relay_schedule(5);
+        let store = BufferStore::new(&sch);
+        let pattern: Vec<u8> = (0..16).collect();
+        store.fill(sch.buffers()[0].id, 0, &pattern);
+        run_single(&sch, &store).unwrap();
+        assert_eq!(store.read_all(sch.buffers()[5].id), pattern);
+    }
+
+    #[test]
+    fn threaded_matches_single_on_relay() {
+        let sch = relay_schedule(20);
+        let pattern: Vec<u8> = (0..16).map(|x| x * 3).collect();
+        for threads in [1, 2, 8] {
+            let store = BufferStore::new(&sch);
+            store.fill(sch.buffers()[0].id, 0, &pattern);
+            run_threaded(&sch, &store, threads).unwrap();
+            assert_eq!(store.read_all(sch.buffers()[20].id), pattern);
+        }
+    }
+
+    #[test]
+    fn transfer_moves_bytes_between_ranks() {
+        let grid = ProcGrid::new(2, 1);
+        let mut b = ScheduleBuilder::new(grid, "x");
+        let s = b.private_buf(RankId(0), 8, "s");
+        let d = b.private_buf(RankId(1), 8, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            8,
+            Channel::AllRails,
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let store = BufferStore::new(&sch);
+        store.fill(s, 0, &[5; 8]);
+        run_threaded(&sch, &store, 4).unwrap();
+        assert_eq!(store.read_all(d), vec![5; 8]);
+    }
+
+    #[test]
+    fn reduce_sums_f64() {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "r");
+        let acc = b.private_buf(RankId(0), 16, "acc");
+        let op = b.private_buf(RankId(0), 16, "op");
+        b.reduce(
+            RankId(0),
+            Loc::new(acc, 0),
+            Loc::new(op, 0),
+            16,
+            DType::F64,
+            RedOp::Sum,
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let store = BufferStore::new(&sch);
+        let a: Vec<u8> = [1.25f64, -2.0]
+            .iter()
+            .flat_map(|v| v.to_ne_bytes())
+            .collect();
+        let o: Vec<u8> = [0.75f64, 7.0]
+            .iter()
+            .flat_map(|v| v.to_ne_bytes())
+            .collect();
+        store.fill(acc, 0, &a);
+        store.fill(op, 0, &o);
+        run_single(&sch, &store).unwrap();
+        let out = store.read_all(acc);
+        let v0 = f64::from_ne_bytes(out[0..8].try_into().unwrap());
+        let v1 = f64::from_ne_bytes(out[8..16].try_into().unwrap());
+        assert_eq!((v0, v1), (2.0, 5.0));
+    }
+
+    #[test]
+    fn reduce_max_f32() {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "m");
+        let acc = b.private_buf(RankId(0), 8, "acc");
+        let op = b.private_buf(RankId(0), 8, "op");
+        b.reduce(
+            RankId(0),
+            Loc::new(acc, 0),
+            Loc::new(op, 0),
+            8,
+            DType::F32,
+            RedOp::Max,
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let store = BufferStore::new(&sch);
+        let a: Vec<u8> = [1.0f32, 9.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let o: Vec<u8> = [3.0f32, 2.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
+        store.fill(acc, 0, &a);
+        store.fill(op, 0, &o);
+        run_single(&sch, &store).unwrap();
+        let out = store.read_all(acc);
+        let v0 = f32::from_ne_bytes(out[0..4].try_into().unwrap());
+        let v1 = f32::from_ne_bytes(out[4..8].try_into().unwrap());
+        assert_eq!((v0, v1), (3.0, 9.0));
+    }
+
+    #[test]
+    fn invalid_schedule_rejected_by_both() {
+        let grid = ProcGrid::new(2, 1);
+        let mut b = ScheduleBuilder::new(grid, "bad");
+        let s = b.private_buf(RankId(0), 4, "s");
+        let d = b.private_buf(RankId(1), 4, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            4,
+            Channel::Cma, // CMA across nodes: invalid
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let store = BufferStore::new(&sch);
+        assert!(matches!(
+            run_single(&sch, &store),
+            Err(ExecError::InvalidSchedule(_))
+        ));
+        assert!(matches!(
+            run_threaded(&sch, &store, 2),
+            Err(ExecError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_is_a_noop() {
+        let sch = ScheduleBuilder::new(ProcGrid::single_node(1), "empty").finish();
+        let store = BufferStore::new(&sch);
+        run_single(&sch, &store).unwrap();
+        run_threaded(&sch, &store, 4).unwrap();
+    }
+
+    #[test]
+    fn wide_fanout_executes_fully() {
+        // One producer, 64 independent consumers, one joiner.
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "fan");
+        let src = b.private_buf(RankId(0), 8, "src");
+        let tmp = b.private_buf(RankId(0), 8, "tmp");
+        let root = b.copy(RankId(0), Loc::new(src, 0), Loc::new(tmp, 0), 8, &[], 0);
+        let mut mids = Vec::new();
+        let mut mid_bufs = Vec::new();
+        for i in 0..64 {
+            let d = b.private_buf(RankId(0), 8, format!("d{i}"));
+            mid_bufs.push(d);
+            mids.push(b.copy(RankId(0), Loc::new(src, 0), Loc::new(d, 0), 8, &[root], 1));
+        }
+        let last = b.private_buf(RankId(0), 8, "last");
+        b.copy(
+            RankId(0),
+            Loc::new(mid_bufs[63], 0),
+            Loc::new(last, 0),
+            8,
+            &mids,
+            2,
+        );
+        let sch = b.finish();
+        let store = BufferStore::new(&sch);
+        store.fill(src, 0, &[7; 8]);
+        run_threaded(&sch, &store, 8).unwrap();
+        assert_eq!(store.read_all(last), vec![7; 8]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mha-exec — real-data executors for collective schedules
+//!
+//! While `mha-simnet` prices a schedule in virtual time, this crate *runs*
+//! it: every buffer becomes a real `Vec<u8>`, transfers and copies move real
+//! bytes, reductions do real arithmetic. Two interpreters share identical
+//! semantics:
+//!
+//! * [`run_single`] — sequential reference execution;
+//! * [`run_threaded`] — a dependency-driven worker pool that may execute any
+//!   topological interleaving, which (together with
+//!   `mha_sched::check_races`) demonstrates that the paper's overlapped
+//!   chunk-counter pipeline is deterministic.
+//!
+//! [`verify_allgather`] / [`verify_allreduce_sum_f32`] wrap the executors
+//! with MPI-semantics postcondition checks; every collective algorithm in
+//! `mha-collectives` is tested through them.
+
+#![warn(missing_docs)]
+
+mod executor;
+mod memory;
+mod verify;
+
+pub use executor::{run_single, run_threaded, ExecError};
+pub use memory::BufferStore;
+pub use verify::{
+    rank_pattern, rank_values_f32, verify_allgather, verify_allreduce_sum_f32, verify_alltoall,
+    verify_bcast, Mode, VerifyError,
+};

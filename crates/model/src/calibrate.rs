@@ -1,0 +1,152 @@
+//! Empirical calibration: measure the Table 1 parameters on the simulator
+//! the way the paper measures them on Thor ("we must first empirically
+//! obtain parameters in Table 1", Section 4.3).
+//!
+//! Each parameter pair `(α, BW)` comes from a two-point linear fit of the
+//! measured transfer time at a small and a large size — exactly the
+//! standard α–β fitting procedure.
+
+use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+use mha_simnet::{ClusterSpec, SimError, Simulator};
+
+use crate::params::ModelParams;
+
+fn fit_alpha_beta(s1: usize, t1: f64, s2: usize, t2: f64) -> (f64, f64) {
+    let slope = (t2 - t1) / (s2 - s1) as f64; // seconds per byte
+    let alpha = t1 - slope * s1 as f64;
+    (alpha.max(0.0), 1.0 / slope)
+}
+
+fn time_cma(sim: &Simulator, len: usize) -> Result<f64, SimError> {
+    let grid = ProcGrid::single_node(2);
+    let mut b = ScheduleBuilder::new(grid, "cal-cma");
+    let s = b.private_buf(RankId(0), len, "s");
+    let d = b.private_buf(RankId(1), len, "d");
+    b.transfer(
+        RankId(0),
+        RankId(1),
+        Loc::new(s, 0),
+        Loc::new(d, 0),
+        len,
+        Channel::Cma,
+        &[],
+        0,
+    );
+    Ok(sim.run(&b.finish())?.makespan)
+}
+
+fn time_rails(sim: &Simulator, len: usize) -> Result<f64, SimError> {
+    let grid = ProcGrid::new(2, 1);
+    let mut b = ScheduleBuilder::new(grid, "cal-rails");
+    let s = b.private_buf(RankId(0), len, "s");
+    let d = b.private_buf(RankId(1), len, "d");
+    b.transfer(
+        RankId(0),
+        RankId(1),
+        Loc::new(s, 0),
+        Loc::new(d, 0),
+        len,
+        Channel::AllRails,
+        &[],
+        0,
+    );
+    Ok(sim.run(&b.finish())?.makespan)
+}
+
+fn time_copy(sim: &Simulator, len: usize, concurrency: u32) -> Result<f64, SimError> {
+    let grid = ProcGrid::single_node(concurrency.max(1));
+    let mut b = ScheduleBuilder::new(grid, "cal-copy");
+    let shm = b.shared_buf(mha_sched::NodeId(0), len, "shm");
+    for r in 0..concurrency.max(1) {
+        let d = b.private_buf(RankId(r), len, "d");
+        b.copy(RankId(r), Loc::new(shm, 0), Loc::new(d, 0), len, &[], 0);
+    }
+    Ok(sim.run(&b.finish())?.makespan)
+}
+
+/// Measured calibration of [`ModelParams`] against a simulated cluster.
+///
+/// The structural parameters that are properties of the protocol rather
+/// than of measured curves (`H`, the rendezvous threshold and surcharge,
+/// the CMA memory weight) are taken from the spec; everything else is
+/// fitted from simulated micro-measurements.
+pub fn calibrate(spec: &ClusterSpec) -> Result<ModelParams, SimError> {
+    let sim = Simulator::new(spec.clone())?;
+    // Sizes above the rendezvous threshold so the fitted α_H includes the
+    // handshake (the regime the Section 4.3 validation sweeps cover).
+    let (s1, s2) = (256 * 1024, 4 << 20);
+
+    let (alpha_c, bw_c) = fit_alpha_beta(s1, time_cma(&sim, s1)?, s2, time_cma(&sim, s2)?);
+    let (alpha_h_eff, bw_h_all) =
+        fit_alpha_beta(s1, time_rails(&sim, s1)?, s2, time_rails(&sim, s2)?);
+    let (alpha_l, bw_l) = fit_alpha_beta(
+        s1,
+        time_copy(&sim, s1, 1)?,
+        s2,
+        time_copy(&sim, s2, 1)?,
+    );
+
+    // Memory bandwidth from the congestion of many concurrent copies:
+    // k copies of S bytes complete in ≈ k·S / mem_bw once congested.
+    let k = spec.cores_per_node.min(16);
+    let t_k = time_copy(&sim, s2, k)?;
+    let mem_bw = (f64::from(k) * s2 as f64 / t_k).min(spec.mem_bw * 1.01);
+
+    Ok(ModelParams {
+        alpha_c,
+        bw_c,
+        alpha_h: (alpha_h_eff - spec.rndv_extra).max(0.0),
+        alpha_h_rndv: spec.rndv_extra,
+        rndv_threshold: spec.rndv_threshold,
+        bw_h: bw_h_all / f64::from(spec.rails),
+        h: u32::from(spec.rails),
+        alpha_l,
+        bw_l,
+        mem_bw,
+        cma_mem_weight: spec.cma_mem_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-30)
+    }
+
+    #[test]
+    fn calibration_recovers_spec_bandwidths() {
+        let spec = ClusterSpec::thor();
+        let p = calibrate(&spec).unwrap();
+        p.validate().unwrap();
+        assert!(rel(p.bw_c, spec.cma_bw) < 0.02, "bw_c {} vs {}", p.bw_c, spec.cma_bw);
+        assert!(rel(p.bw_h, spec.rail_bw) < 0.02);
+        assert!(rel(p.bw_l, spec.copy_bw) < 0.02);
+        assert!(rel(p.mem_bw, spec.mem_bw) < 0.1, "mem {} vs {}", p.mem_bw, spec.mem_bw);
+    }
+
+    #[test]
+    fn calibration_recovers_startups_approximately() {
+        let spec = ClusterSpec::thor();
+        let p = calibrate(&spec).unwrap();
+        assert!((p.alpha_c - spec.cma_alpha).abs() < 1e-6);
+        assert!((p.alpha_l - spec.copy_alpha).abs() < 1e-6);
+        assert!((p.alpha_h - spec.rail_alpha).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_tracks_single_rail_cluster() {
+        let spec = ClusterSpec::thor_single_rail();
+        let p = calibrate(&spec).unwrap();
+        assert_eq!(p.h, 1);
+        assert!(rel(p.bw_h, spec.rail_bw) < 0.02);
+    }
+
+    #[test]
+    fn two_point_fit_is_exact_on_affine_data() {
+        let (alpha, bw) = fit_alpha_beta(100, 1e-6 + 100.0 / 1e9, 1000, 1e-6 + 1000.0 / 1e9);
+        assert!((alpha - 1e-6).abs() < 1e-12);
+        assert!(rel(bw, 1e9) < 1e-9);
+    }
+}

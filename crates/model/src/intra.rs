@@ -1,0 +1,121 @@
+//! The MHA-intra cost model (Section 4.1, Eqs. 1–2).
+
+use crate::params::ModelParams;
+
+/// Eq. 1 — the optimal per-rank offload count:
+///
+/// ```text
+/// T_C(M) · (L − 1 − d) = T_H(M) · L · d
+///   ⇒ d = T_C(M) · (L − 1) / (T_H(M) · L + T_C(M))
+/// ```
+///
+/// `congested` selects whether `T_C` includes the memory-congestion factor
+/// `b(L)`; the paper's Eq. 1 uses the uncontended value (the gap between
+/// the two is why the empirical tuner of Figure 5 exists).
+pub fn optimal_offload(p: &ModelParams, l: u32, m: usize, congested: bool) -> u32 {
+    if l <= 1 {
+        return 0;
+    }
+    let tc = if congested { p.t_c(m, l) } else { p.t_c1(m) };
+    let th = p.t_h(m);
+    let d = tc * f64::from(l - 1) / (th * f64::from(l) + tc);
+    (d.round() as u32).min(l - 1)
+}
+
+/// Eq. 2 — predicted MHA-intra Allgather latency (seconds):
+///
+/// ```text
+/// T = T_L(M) + max{ (L − 1 − d) · T_C(M),  L · d · T_H(M) }
+/// ```
+///
+/// `T_C` carries the congestion factor for `L` concurrent CMA streams;
+/// `T_L(M)` is the initial self-copy.
+pub fn mha_intra_latency(p: &ModelParams, l: u32, m: usize, d: u32) -> f64 {
+    let d = d.min(l.saturating_sub(1));
+    if l <= 1 {
+        return p.t_l(m);
+    }
+    let cpu = f64::from(l - 1 - d) * p.t_c(m, l);
+    let hca = f64::from(l) * f64::from(d) * p.t_h(m);
+    p.t_l(m) + cpu.max(hca)
+}
+
+/// Eq. 2 with the Eq. 1 offload plugged in (the headline prediction of
+/// Figure 9).
+pub fn mha_intra_latency_auto(p: &ModelParams, l: u32, m: usize) -> f64 {
+    let d = optimal_offload(p, l, m, false);
+    mha_intra_latency(p, l, m, d)
+}
+
+/// Plain Direct-Spread prediction (d = 0) — the no-offload baseline.
+pub fn direct_spread_latency(p: &ModelParams, l: u32, m: usize) -> f64 {
+    mha_intra_latency(p, l, m, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mha_simnet::ClusterSpec;
+
+    fn p() -> ModelParams {
+        ModelParams::from_spec(&ClusterSpec::thor())
+    }
+
+    #[test]
+    fn eq1_matches_collectives_implementation() {
+        // The production Eq. 1 in mha-collectives must agree with the
+        // model crate's.
+        let spec = ClusterSpec::thor();
+        let p = p();
+        for l in [2u32, 4, 8, 16] {
+            for m in [4096usize, 1 << 20, 4 << 20] {
+                assert_eq!(
+                    optimal_offload(&p, l, m, false),
+                    mha_collectives::mha::optimal_offload(&spec, l, m),
+                    "L={l} M={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offload_reduces_predicted_latency_for_large_messages() {
+        let p = p();
+        let m = 4 << 20;
+        for l in [2u32, 4, 8] {
+            let base = direct_spread_latency(&p, l, m);
+            let opt = mha_intra_latency_auto(&p, l, m);
+            assert!(opt < base, "L={l}: {opt} !< {base}");
+        }
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_message_size() {
+        let p = p();
+        let mut prev = 0.0;
+        for m in [64 * 1024, 256 * 1024, 1 << 20, 4 << 20] {
+            let t = mha_intra_latency_auto(&p, 8, m);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn over_offloading_hurts() {
+        // Figure 5's right side: pushing everything to the HCAs makes the
+        // HCA term dominate.
+        let p = p();
+        let l = 8;
+        let m = 1 << 20;
+        let d_opt = optimal_offload(&p, l, m, true);
+        let balanced = mha_intra_latency(&p, l, m, d_opt);
+        let all = mha_intra_latency(&p, l, m, l - 1);
+        assert!(all > balanced);
+    }
+
+    #[test]
+    fn single_rank_costs_one_copy() {
+        let p = p();
+        assert_eq!(mha_intra_latency(&p, 1, 4096, 0), p.t_l(4096));
+    }
+}

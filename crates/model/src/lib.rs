@@ -1,0 +1,30 @@
+//! # mha-model — the paper's analytic cost models (Section 4)
+//!
+//! * [`ModelParams`] — the Table 1 parameter set, obtainable from a cluster
+//!   spec ([`ModelParams::from_spec`]) or by empirical measurement on the
+//!   simulator ([`calibrate`], mirroring Section 4.3's procedure).
+//! * [`optimal_offload`] / [`mha_intra_latency`] — Eqs. 1–2 (MHA-intra).
+//! * [`phase2_rd`] / [`phase2_ring`] / [`intra_bcast`] /
+//!   [`mha_inter_latency`] — Eqs. 3–7 (MHA-inter).
+//! * [`validate_intra`] / [`validate_inter`] — the Figure 9/10
+//!   predicted-vs-actual sweeps against `mha-simnet`.
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod inter;
+mod intra;
+mod params;
+mod validate;
+
+pub use calibrate::calibrate;
+pub use inter::{
+    intra_bcast, mha_inter_latency, mha_inter_latency_tuned, phase2_rd, phase2_ring, Phase2,
+};
+pub use intra::{
+    direct_spread_latency, mha_intra_latency, mha_intra_latency_auto, optimal_offload,
+};
+pub use params::ModelParams;
+pub use validate::{
+    mean_rel_error, validate_inter, validate_intra, ModelError, ValidationPoint,
+};

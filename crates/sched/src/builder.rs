@@ -1,0 +1,344 @@
+//! Fluent construction of schedules.
+//!
+//! The builder enforces the one structural invariant that makes everything
+//! downstream simple: **dependencies always point backwards** (an op may only
+//! depend on ops created before it), so creation order is a topological order
+//! and the DAG is acyclic by construction.
+
+use crate::buffer::{BufKind, BufferDecl, Loc};
+use crate::grid::ProcGrid;
+use crate::ids::{BufId, NodeId, OpId, RankId};
+use crate::op::{Channel, DType, Op, OpKind, RedOp};
+use crate::schedule::Schedule;
+
+/// Builds a [`Schedule`] incrementally.
+pub struct ScheduleBuilder {
+    grid: ProcGrid,
+    buffers: Vec<BufferDecl>,
+    ops: Vec<Op>,
+    name: String,
+}
+
+impl ScheduleBuilder {
+    /// Starts a schedule for `grid`, labelled `name`.
+    pub fn new(grid: ProcGrid, name: impl Into<String>) -> Self {
+        ScheduleBuilder {
+            grid,
+            buffers: Vec::new(),
+            ops: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The grid being scheduled against.
+    #[inline]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Number of ops created so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops were created yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Declares a buffer private to `rank`.
+    pub fn private_buf(&mut self, rank: RankId, len: usize, label: impl Into<String>) -> BufId {
+        assert!(
+            rank.0 < self.grid.nranks(),
+            "buffer owner {rank} outside grid"
+        );
+        self.decl(BufKind::Private(rank), len, None, label)
+    }
+
+    /// Declares a node-shared (shm) buffer on `node` with interleaved
+    /// (NUMA-agnostic) placement.
+    pub fn shared_buf(&mut self, node: NodeId, len: usize, label: impl Into<String>) -> BufId {
+        assert!(node.0 < self.grid.nodes(), "buffer node {node} outside grid");
+        self.decl(BufKind::NodeShared(node), len, None, label)
+    }
+
+    /// Declares a node-shared buffer whose pages live on `socket`'s memory
+    /// (first-touch placement by a rank of that socket). On NUMA clusters,
+    /// ranks of other sockets pay the cross-socket interconnect to copy
+    /// into or out of it.
+    pub fn shared_buf_homed(
+        &mut self,
+        node: NodeId,
+        socket: u32,
+        len: usize,
+        label: impl Into<String>,
+    ) -> BufId {
+        assert!(node.0 < self.grid.nodes(), "buffer node {node} outside grid");
+        self.decl(BufKind::NodeShared(node), len, Some(socket), label)
+    }
+
+    fn decl(
+        &mut self,
+        kind: BufKind,
+        len: usize,
+        home_socket: Option<u32>,
+        label: impl Into<String>,
+    ) -> BufId {
+        let id = BufId::from(self.buffers.len());
+        self.buffers.push(BufferDecl {
+            id,
+            kind,
+            len,
+            home_socket,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Adds an op with explicit dependencies, step tag and label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency refers to an op not yet created (this is what
+    /// keeps the graph acyclic).
+    pub fn push(
+        &mut self,
+        kind: OpKind,
+        deps: &[OpId],
+        step: u32,
+        label: impl Into<String>,
+    ) -> OpId {
+        let id = OpId::from(self.ops.len());
+        for &d in deps {
+            assert!(
+                d < id,
+                "op {id} depends on {d}, which does not exist yet (forward deps are forbidden)"
+            );
+        }
+        let mut dep_vec = deps.to_vec();
+        dep_vec.sort_unstable();
+        dep_vec.dedup();
+        self.ops.push(Op {
+            id,
+            kind,
+            deps: dep_vec,
+            step,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Convenience: a transfer op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer(
+        &mut self,
+        src_rank: RankId,
+        dst_rank: RankId,
+        src: Loc,
+        dst: Loc,
+        len: usize,
+        channel: Channel,
+        deps: &[OpId],
+        step: u32,
+    ) -> OpId {
+        let label = format!("{src_rank}->{dst_rank}");
+        self.push(
+            OpKind::Transfer {
+                src_rank,
+                dst_rank,
+                src,
+                dst,
+                len,
+                channel,
+            },
+            deps,
+            step,
+            label,
+        )
+    }
+
+    /// Convenience: a CPU copy op.
+    pub fn copy(
+        &mut self,
+        actor: RankId,
+        src: Loc,
+        dst: Loc,
+        len: usize,
+        deps: &[OpId],
+        step: u32,
+    ) -> OpId {
+        self.push(
+            OpKind::Copy {
+                actor,
+                src,
+                dst,
+                len,
+            },
+            deps,
+            step,
+            format!("copy@{actor}"),
+        )
+    }
+
+    /// Convenience: an elementwise reduction op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &mut self,
+        actor: RankId,
+        acc: Loc,
+        operand: Loc,
+        len: usize,
+        dtype: DType,
+        op: RedOp,
+        deps: &[OpId],
+        step: u32,
+    ) -> OpId {
+        assert!(
+            len % dtype.size() == 0,
+            "reduce length {len} not a multiple of element size {}",
+            dtype.size()
+        );
+        self.push(
+            OpKind::Reduce {
+                actor,
+                acc,
+                operand,
+                len,
+                dtype,
+                op,
+            },
+            deps,
+            step,
+            format!("red@{actor}"),
+        )
+    }
+
+    /// Convenience: a pure-compute op.
+    pub fn compute(&mut self, actor: RankId, flops: u64, deps: &[OpId], step: u32) -> OpId {
+        self.push(
+            OpKind::Compute { actor, flops },
+            deps,
+            step,
+            format!("comp@{actor}"),
+        )
+    }
+
+    /// Finalizes the schedule.
+    pub fn finish(self) -> Schedule {
+        Schedule::from_parts(self.grid, self.buffers, self.ops, self.name)
+    }
+}
+
+/// Tracks the last op issued by each rank so algorithms can express MPI-style
+/// program order ("this rank's next call starts after its previous one")
+/// without threading `OpId`s by hand.
+///
+/// This mirrors how a blocking MPI algorithm serializes each rank's calls
+/// while leaving cross-rank ordering to explicit dependencies.
+pub struct RankCursors {
+    last: Vec<Option<OpId>>,
+}
+
+impl RankCursors {
+    /// Cursors for every rank of `grid`, all initially unset.
+    pub fn new(grid: &ProcGrid) -> Self {
+        RankCursors {
+            last: vec![None; grid.nranks() as usize],
+        }
+    }
+
+    /// The rank's previous op, if any, as a dependency list.
+    pub fn deps_of(&self, rank: RankId) -> Vec<OpId> {
+        self.last[rank.index()].into_iter().collect()
+    }
+
+    /// Dependencies = the rank's previous op plus `extra`.
+    pub fn deps_with(&self, rank: RankId, extra: &[OpId]) -> Vec<OpId> {
+        let mut v = self.deps_of(rank);
+        v.extend_from_slice(extra);
+        v
+    }
+
+    /// Records `op` as the rank's latest.
+    pub fn advance(&mut self, rank: RankId, op: OpId) {
+        self.last[rank.index()] = Some(op);
+    }
+
+    /// The rank's latest op.
+    pub fn last(&self, rank: RankId) -> Option<OpId> {
+        self.last[rank.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_are_deduped_and_sorted() {
+        let mut b = ScheduleBuilder::new(ProcGrid::single_node(2), "t");
+        let a = b.compute(RankId(0), 1, &[], 0);
+        let c = b.compute(RankId(0), 1, &[], 0);
+        let d = b.compute(RankId(1), 1, &[c, a, c], 1);
+        let sch = b.finish();
+        assert_eq!(sch.op(d).deps, vec![a, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward deps are forbidden")]
+    fn forward_dependency_rejected() {
+        let mut b = ScheduleBuilder::new(ProcGrid::single_node(1), "t");
+        b.compute(RankId(0), 1, &[OpId(5)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn buffer_for_foreign_rank_rejected() {
+        let mut b = ScheduleBuilder::new(ProcGrid::single_node(2), "t");
+        b.private_buf(RankId(7), 8, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of element size")]
+    fn misaligned_reduce_rejected() {
+        let mut b = ScheduleBuilder::new(ProcGrid::single_node(1), "t");
+        let buf = b.private_buf(RankId(0), 16, "x");
+        b.reduce(
+            RankId(0),
+            Loc::new(buf, 0),
+            Loc::new(buf, 8),
+            6,
+            DType::F32,
+            RedOp::Sum,
+            &[],
+            0,
+        );
+    }
+
+    #[test]
+    fn cursors_express_program_order() {
+        let grid = ProcGrid::single_node(2);
+        let mut b = ScheduleBuilder::new(grid, "t");
+        let mut cur = RankCursors::new(&grid);
+        assert!(cur.deps_of(RankId(0)).is_empty());
+        let a = b.compute(RankId(0), 1, &cur.deps_of(RankId(0)), 0);
+        cur.advance(RankId(0), a);
+        assert_eq!(cur.deps_of(RankId(0)), vec![a]);
+        assert_eq!(cur.last(RankId(1)), None);
+        let mixed = cur.deps_with(RankId(0), &[a]);
+        assert_eq!(mixed, vec![a, a]); // push() dedups later
+        let c = b.compute(RankId(0), 1, &mixed, 1);
+        assert_eq!(b.finish().op(c).deps, vec![a]);
+    }
+
+    #[test]
+    fn builder_len_tracks_ops() {
+        let mut b = ScheduleBuilder::new(ProcGrid::single_node(1), "t");
+        assert!(b.is_empty());
+        b.compute(RankId(0), 1, &[], 0);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

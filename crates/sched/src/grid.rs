@@ -1,0 +1,183 @@
+//! Process grid: the mapping between global ranks and compute nodes.
+//!
+//! The paper evaluates block-mapped layouts (`ppn` consecutive ranks per
+//! node), which is also the default of `mpirun` on the Thor cluster. All
+//! hierarchy-aware algorithms (leader election, node-local sub-collectives)
+//! derive their structure from this mapping.
+
+use crate::ids::{NodeId, RankId};
+
+/// A block-mapped process layout: `nodes × ppn` ranks, with ranks
+/// `[node * ppn, (node + 1) * ppn)` placed on node `node`.
+///
+/// The first rank of each node is that node's *leader* in the two-level
+/// designs (Section 3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcGrid {
+    nodes: u32,
+    ppn: u32,
+}
+
+impl ProcGrid {
+    /// Creates a grid of `nodes` nodes with `ppn` processes per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the total rank count overflows
+    /// `u32`.
+    pub fn new(nodes: u32, ppn: u32) -> Self {
+        assert!(nodes > 0, "a grid needs at least one node");
+        assert!(ppn > 0, "a grid needs at least one process per node");
+        assert!(
+            nodes.checked_mul(ppn).is_some(),
+            "rank count overflows u32"
+        );
+        ProcGrid { nodes, ppn }
+    }
+
+    /// A single-node grid (pure intra-node communication).
+    pub fn single_node(ppn: u32) -> Self {
+        ProcGrid::new(1, ppn)
+    }
+
+    /// Number of nodes (`N` in the paper's notation).
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Processes per node (`L` in the paper's notation).
+    #[inline]
+    pub fn ppn(&self) -> u32 {
+        self.ppn
+    }
+
+    /// Total number of ranks (`N * L`).
+    #[inline]
+    pub fn nranks(&self) -> u32 {
+        self.nodes * self.ppn
+    }
+
+    /// The node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: RankId) -> NodeId {
+        debug_assert!(rank.0 < self.nranks(), "rank {rank} out of grid");
+        NodeId(rank.0 / self.ppn)
+    }
+
+    /// The rank's index within its node (`0..ppn`).
+    #[inline]
+    pub fn local_index(&self, rank: RankId) -> u32 {
+        rank.0 % self.ppn
+    }
+
+    /// The global rank of local process `local` on `node`.
+    #[inline]
+    pub fn rank_on(&self, node: NodeId, local: u32) -> RankId {
+        debug_assert!(node.0 < self.nodes, "node {node} out of grid");
+        debug_assert!(local < self.ppn, "local index {local} out of node");
+        RankId(node.0 * self.ppn + local)
+    }
+
+    /// The leader (lowest-numbered rank) of `node`.
+    #[inline]
+    pub fn leader_of(&self, node: NodeId) -> RankId {
+        self.rank_on(node, 0)
+    }
+
+    /// Whether `rank` is its node's leader.
+    #[inline]
+    pub fn is_leader(&self, rank: RankId) -> bool {
+        self.local_index(rank) == 0
+    }
+
+    /// Iterator over all ranks in the grid, in rank order.
+    pub fn ranks(&self) -> impl Iterator<Item = RankId> {
+        (0..self.nranks()).map(RankId)
+    }
+
+    /// Iterator over all nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+
+    /// Iterator over the ranks hosted on `node`, in local order.
+    pub fn ranks_of(&self, node: NodeId) -> impl Iterator<Item = RankId> {
+        let base = node.0 * self.ppn;
+        (base..base + self.ppn).map(RankId)
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: RankId, b: RankId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_places_consecutive_ranks_together() {
+        let g = ProcGrid::new(4, 8);
+        assert_eq!(g.nranks(), 32);
+        assert_eq!(g.node_of(RankId(0)), NodeId(0));
+        assert_eq!(g.node_of(RankId(7)), NodeId(0));
+        assert_eq!(g.node_of(RankId(8)), NodeId(1));
+        assert_eq!(g.node_of(RankId(31)), NodeId(3));
+    }
+
+    #[test]
+    fn local_index_and_rank_on_are_inverse() {
+        let g = ProcGrid::new(3, 5);
+        for rank in g.ranks() {
+            let node = g.node_of(rank);
+            let local = g.local_index(rank);
+            assert_eq!(g.rank_on(node, local), rank);
+        }
+    }
+
+    #[test]
+    fn leaders_are_first_local_rank() {
+        let g = ProcGrid::new(4, 4);
+        assert_eq!(g.leader_of(NodeId(2)), RankId(8));
+        assert!(g.is_leader(RankId(0)));
+        assert!(g.is_leader(RankId(12)));
+        assert!(!g.is_leader(RankId(13)));
+    }
+
+    #[test]
+    fn ranks_of_node_enumerates_block() {
+        let g = ProcGrid::new(2, 3);
+        let on1: Vec<_> = g.ranks_of(NodeId(1)).collect();
+        assert_eq!(on1, vec![RankId(3), RankId(4), RankId(5)]);
+    }
+
+    #[test]
+    fn same_node_detects_co_location() {
+        let g = ProcGrid::new(2, 2);
+        assert!(g.same_node(RankId(0), RankId(1)));
+        assert!(!g.same_node(RankId(1), RankId(2)));
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let g = ProcGrid::single_node(16);
+        assert_eq!(g.nodes(), 1);
+        assert_eq!(g.nranks(), 16);
+        assert!(g.ranks().all(|r| g.node_of(r) == NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ProcGrid::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_ppn_rejected() {
+        ProcGrid::new(4, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Strongly-typed identifiers used throughout the schedule IR.
+//!
+//! All identifiers are dense `u32` indices, assigned in creation order by the
+//! [`crate::builder::ScheduleBuilder`]. Keeping them dense lets the executors
+//! and the simulator index straight into `Vec`s without hashing.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a plain index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(u32::try_from(v).expect("id overflows u32"))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An MPI-style process rank (global, 0-based).
+    RankId,
+    "r"
+);
+id_type!(
+    /// A compute node within the cluster.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A declared buffer (private to a rank or shared within a node).
+    BufId,
+    "b"
+);
+id_type!(
+    /// An operation in a schedule's dependency DAG.
+    OpId,
+    "op"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(RankId(3).to_string(), "r3");
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(BufId(12).to_string(), "b12");
+        assert_eq!(OpId(7).to_string(), "op7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let r: RankId = 5u32.into();
+        assert_eq!(r.index(), 5);
+        let o: OpId = 9usize.into();
+        assert_eq!(o, OpId(9));
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(OpId(1) < OpId(2));
+        assert!(RankId(0) < RankId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn oversized_index_panics() {
+        let _: OpId = (u32::MAX as usize + 1).into();
+    }
+}

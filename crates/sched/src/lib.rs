@@ -1,0 +1,50 @@
+//! # mha-sched — schedule IR for multi-HCA aware collectives
+//!
+//! This crate defines the intermediate representation shared by the whole
+//! reproduction stack of *"Designing Hierarchical Multi-HCA Aware Allgather
+//! in MPI"* (Tran et al., ICPP Workshops 2022):
+//!
+//! * a [`ProcGrid`] describing the `N × L` process layout,
+//! * [`BufferDecl`]s for rank-private and node-shared (shm) memory,
+//! * a dependency DAG of [`Op`]s — transfers over CMA or HCA rails, CPU
+//!   copies, reductions and pure compute,
+//! * a [`ScheduleBuilder`] that keeps the graph acyclic by construction, and
+//! * [`validate`]/[`check_races`] which prove a schedule is structurally
+//!   sound and deterministic under any interleaving.
+//!
+//! Collective algorithms (in `mha-collectives`) compile to this IR once; the
+//! discrete-event simulator (`mha-simnet`) then prices the schedule on a
+//! model of the Thor cluster while the threaded executor (`mha-exec`) runs it
+//! on real byte buffers to verify semantics. One schedule, two interpreters.
+//!
+//! ```
+//! use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+//!
+//! let grid = ProcGrid::new(2, 1); // two nodes, one process each
+//! let mut b = ScheduleBuilder::new(grid, "demo");
+//! let src = b.private_buf(RankId(0), 1 << 20, "send");
+//! let dst = b.private_buf(RankId(1), 1 << 20, "recv");
+//! b.transfer(RankId(0), RankId(1), Loc::new(src, 0), Loc::new(dst, 0),
+//!            1 << 20, Channel::AllRails, &[], 0);
+//! let sched = b.finish();
+//! assert!(mha_sched::validate(&sched, Some(2)).is_ok());
+//! assert_eq!(sched.stats().rail_bytes, 1 << 20);
+//! ```
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod builder;
+mod grid;
+mod ids;
+mod op;
+mod schedule;
+mod validate;
+
+pub use buffer::{BufKind, BufferDecl, Loc};
+pub use builder::{RankCursors, ScheduleBuilder};
+pub use grid::ProcGrid;
+pub use ids::{BufId, NodeId, OpId, RankId};
+pub use op::{Channel, DType, Op, OpKind, RedOp};
+pub use schedule::{Schedule, ScheduleStats};
+pub use validate::{check_races, rail_registered_buffers, validate, Race, ValidateError};

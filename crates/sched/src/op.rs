@@ -1,0 +1,248 @@
+//! Operation kinds: the vocabulary of the schedule IR.
+//!
+//! Each operation names the *resources* it occupies implicitly through its
+//! kind, which is how the simulator charges time and how the executors know
+//! which thread performs it:
+//!
+//! | kind | moves data with | simulator resources |
+//! |---|---|---|
+//! | `Transfer`/`Cma` | the destination rank's CPU (process_vm_readv-style single copy) | `cpu(dst)`, `mem(node)` |
+//! | `Transfer`/`Rail` | one HCA (RDMA; no CPU involvement) | `tx(src node, rail)`, `rx(dst node, rail)` |
+//! | `Transfer`/`AllRails` | all HCAs (striped or round-robin per the cluster policy) | every rail of both nodes |
+//! | `Copy` | the actor's CPU (memcpy within/into shm) | `cpu(actor)`, `mem(node)` |
+//! | `Reduce` | the actor's CPU (read-read-write arithmetic) | `cpu(actor)`, `mem(node)` |
+//! | `Compute` | the actor's CPU (pure FLOPs, no memory traffic modeled) | `cpu(actor)` |
+
+use crate::buffer::Loc;
+use crate::ids::{OpId, RankId};
+
+/// Which communication channel a [`OpKind::Transfer`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Kernel-assisted single-copy (CMA / process_vm_readv). Executed by the
+    /// destination rank's CPU; valid between ranks of the same node only.
+    Cma,
+    /// A specific HCA rail (0-based). Valid inter-node, and intra-node as a
+    /// NIC-loopback transfer — the trick MHA-intra uses to recruit idle HCAs.
+    Rail(u8),
+    /// Let the point-to-point layer use every rail: striping for messages at
+    /// or above the cluster's stripe threshold, round-robin below it
+    /// (Section 2.1 / Liu et al. \[17\]).
+    AllRails,
+}
+
+/// The element type of a [`OpKind::Reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE float (the gradient type in the DL experiments).
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+}
+
+/// The combining operator of a [`OpKind::Reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOp {
+    /// Elementwise sum (MPI_SUM) — used by Allreduce.
+    Sum,
+    /// Elementwise maximum (MPI_MAX).
+    Max,
+}
+
+/// One operation in the DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Move `len` bytes from `src` (addressed by `src_rank`) to `dst`
+    /// (addressed by `dst_rank`) over `channel`.
+    Transfer {
+        /// Rank owning/registering the source region.
+        src_rank: RankId,
+        /// Rank owning/registering the destination region.
+        dst_rank: RankId,
+        /// Source byte range.
+        src: Loc,
+        /// Destination byte range.
+        dst: Loc,
+        /// Length in bytes.
+        len: usize,
+        /// Transport.
+        channel: Channel,
+    },
+    /// A CPU memcpy by `actor` between two locally addressable ranges
+    /// (e.g. leader copying an arrived chunk into the node's shm segment, or
+    /// a member copying it out — phase 3 of MHA-inter).
+    Copy {
+        /// Rank whose CPU performs the copy.
+        actor: RankId,
+        /// Source byte range (must be local to `actor`).
+        src: Loc,
+        /// Destination byte range (must be local to `actor`).
+        dst: Loc,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Elementwise `acc[i] = op(acc[i], operand[i])` over `len` bytes
+    /// interpreted as `dtype` — the arithmetic step of reduce-scatter.
+    Reduce {
+        /// Rank whose CPU performs the reduction.
+        actor: RankId,
+        /// Accumulator range (read-modify-write; must be local to `actor`).
+        acc: Loc,
+        /// Operand range (read-only; must be local to `actor`).
+        operand: Loc,
+        /// Length in bytes; must be a multiple of `dtype.size()`.
+        len: usize,
+        /// Element type.
+        dtype: DType,
+        /// Combining operator.
+        op: RedOp,
+    },
+    /// Pure computation by `actor` costing `flops` floating-point operations
+    /// (the local GEMV in the matvec kernel, backprop in the DL loop).
+    Compute {
+        /// Rank whose CPU computes.
+        actor: RankId,
+        /// Cost in floating-point operations.
+        flops: u64,
+    },
+}
+
+impl OpKind {
+    /// The rank whose CPU executes this op, if any (rail transfers are
+    /// performed by the HCA and return `None`).
+    pub fn cpu_actor(&self) -> Option<RankId> {
+        match *self {
+            OpKind::Transfer {
+                dst_rank,
+                channel: Channel::Cma,
+                ..
+            } => Some(dst_rank),
+            OpKind::Transfer { .. } => None,
+            OpKind::Copy { actor, .. }
+            | OpKind::Reduce { actor, .. }
+            | OpKind::Compute { actor, .. } => Some(actor),
+        }
+    }
+
+    /// Bytes moved by this op (zero for `Compute`).
+    pub fn bytes(&self) -> usize {
+        match *self {
+            OpKind::Transfer { len, .. }
+            | OpKind::Copy { len, .. }
+            | OpKind::Reduce { len, .. } => len,
+            OpKind::Compute { .. } => 0,
+        }
+    }
+
+    /// Short kind name for traces and DOT dumps.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            OpKind::Transfer {
+                channel: Channel::Cma,
+                ..
+            } => "cma",
+            OpKind::Transfer {
+                channel: Channel::Rail(_),
+                ..
+            } => "rail",
+            OpKind::Transfer {
+                channel: Channel::AllRails,
+                ..
+            } => "rails",
+            OpKind::Copy { .. } => "copy",
+            OpKind::Reduce { .. } => "reduce",
+            OpKind::Compute { .. } => "compute",
+        }
+    }
+}
+
+/// An operation plus its DAG bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Dense identifier (creation order; dependencies always point backwards).
+    pub id: OpId,
+    /// What the op does.
+    pub kind: OpKind,
+    /// Operations that must complete before this one starts.
+    pub deps: Vec<OpId>,
+    /// Algorithm step this op belongs to (for step-count assertions, traces
+    /// and the Fig. 2-style timeline). Zero-based; `u32::MAX` = unassigned.
+    pub step: u32,
+    /// Human-readable label.
+    pub label: String,
+}
+
+impl Op {
+    /// Whether a step was assigned.
+    pub fn has_step(&self) -> bool {
+        self.step != u32::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::BufId;
+
+    fn loc() -> Loc {
+        Loc::new(BufId(0), 0)
+    }
+
+    #[test]
+    fn cpu_actor_is_dst_for_cma_and_none_for_rail() {
+        let cma = OpKind::Transfer {
+            src_rank: RankId(0),
+            dst_rank: RankId(1),
+            src: loc(),
+            dst: loc(),
+            len: 8,
+            channel: Channel::Cma,
+        };
+        assert_eq!(cma.cpu_actor(), Some(RankId(1)));
+
+        let rail = OpKind::Transfer {
+            src_rank: RankId(0),
+            dst_rank: RankId(1),
+            src: loc(),
+            dst: loc(),
+            len: 8,
+            channel: Channel::Rail(0),
+        };
+        assert_eq!(rail.cpu_actor(), None);
+    }
+
+    #[test]
+    fn bytes_and_names() {
+        let c = OpKind::Copy {
+            actor: RankId(0),
+            src: loc(),
+            dst: loc(),
+            len: 123,
+        };
+        assert_eq!(c.bytes(), 123);
+        assert_eq!(c.kind_name(), "copy");
+        let comp = OpKind::Compute {
+            actor: RankId(0),
+            flops: 10,
+        };
+        assert_eq!(comp.bytes(), 0);
+        assert_eq!(comp.kind_name(), "compute");
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+    }
+}

@@ -1,0 +1,325 @@
+//! The schedule container: a validated DAG of operations over declared
+//! buffers, produced by an algorithm in `mha-collectives` and consumed by
+//! both the simulator (`mha-simnet`) and the executors (`mha-exec`).
+
+use crate::buffer::{BufKind, BufferDecl};
+use crate::grid::ProcGrid;
+use crate::ids::{BufId, NodeId, OpId, RankId};
+use crate::op::{Channel, Op, OpKind};
+
+/// Aggregate statistics of a schedule, used by tests to assert algorithmic
+/// properties (step counts, traffic volume per channel) without executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Bytes moved over CMA transfers.
+    pub cma_bytes: u64,
+    /// Bytes moved over rail transfers (specific rail or striped).
+    pub rail_bytes: u64,
+    /// Bytes moved by CPU copies.
+    pub copy_bytes: u64,
+    /// Bytes combined by reductions.
+    pub reduce_bytes: u64,
+    /// Number of transfer ops on rails.
+    pub rail_transfers: usize,
+    /// Number of CMA transfer ops.
+    pub cma_transfers: usize,
+    /// Number of copy ops.
+    pub copies: usize,
+    /// Highest assigned step number plus one (0 if no steps assigned).
+    pub steps: u32,
+    /// Length (in ops) of the longest dependency chain.
+    pub critical_path: usize,
+}
+
+/// A complete schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    grid: ProcGrid,
+    buffers: Vec<BufferDecl>,
+    ops: Vec<Op>,
+    /// Human-readable name of the algorithm that produced this schedule.
+    name: String,
+}
+
+impl Schedule {
+    /// Assembles a schedule. Called by the builder; users go through
+    /// [`crate::builder::ScheduleBuilder`].
+    pub(crate) fn from_parts(
+        grid: ProcGrid,
+        buffers: Vec<BufferDecl>,
+        ops: Vec<Op>,
+        name: String,
+    ) -> Self {
+        Schedule {
+            grid,
+            buffers,
+            ops,
+            name,
+        }
+    }
+
+    /// The process layout this schedule was built for.
+    #[inline]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Algorithm name (e.g. `"mha-inter-ring"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All buffer declarations, indexed by [`BufId`].
+    #[inline]
+    pub fn buffers(&self) -> &[BufferDecl] {
+        &self.buffers
+    }
+
+    /// All operations in creation (= topological) order.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Looks up a buffer declaration.
+    #[inline]
+    pub fn buffer(&self, id: BufId) -> &BufferDecl {
+        &self.buffers[id.index()]
+    }
+
+    /// Looks up an operation.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// Buffers private to `rank`, in declaration order.
+    pub fn private_buffers_of(&self, rank: RankId) -> impl Iterator<Item = &BufferDecl> {
+        self.buffers
+            .iter()
+            .filter(move |b| b.kind == BufKind::Private(rank))
+    }
+
+    /// Shared buffers of `node`, in declaration order.
+    pub fn shared_buffers_of(&self, node: NodeId) -> impl Iterator<Item = &BufferDecl> {
+        self.buffers
+            .iter()
+            .filter(move |b| b.kind == BufKind::NodeShared(node))
+    }
+
+    /// Successor adjacency: for each op, the ops that depend on it.
+    /// Computed on demand; O(edges).
+    pub fn successors(&self) -> Vec<Vec<OpId>> {
+        let mut succ = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for &d in &op.deps {
+                succ[d.index()].push(op.id);
+            }
+        }
+        succ
+    }
+
+    /// In-degree of every op (number of dependencies).
+    pub fn indegrees(&self) -> Vec<u32> {
+        self.ops.iter().map(|o| o.deps.len() as u32).collect()
+    }
+
+    /// Computes aggregate statistics in one pass.
+    pub fn stats(&self) -> ScheduleStats {
+        let mut s = ScheduleStats {
+            ops: self.ops.len(),
+            ..Default::default()
+        };
+        // depth[i] = longest chain ending at op i (ops are topologically
+        // ordered because deps always point backwards).
+        let mut depth = vec![0usize; self.ops.len()];
+        for op in &self.ops {
+            let d = op
+                .deps
+                .iter()
+                .map(|p| depth[p.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            depth[op.id.index()] = d;
+            s.critical_path = s.critical_path.max(d);
+            if op.has_step() {
+                s.steps = s.steps.max(op.step + 1);
+            }
+            match &op.kind {
+                OpKind::Transfer { len, channel, .. } => match channel {
+                    Channel::Cma => {
+                        s.cma_bytes += *len as u64;
+                        s.cma_transfers += 1;
+                    }
+                    Channel::Rail(_) | Channel::AllRails => {
+                        s.rail_bytes += *len as u64;
+                        s.rail_transfers += 1;
+                    }
+                },
+                OpKind::Copy { len, .. } => {
+                    s.copy_bytes += *len as u64;
+                    s.copies += 1;
+                }
+                OpKind::Reduce { len, .. } => s.reduce_bytes += *len as u64,
+                OpKind::Compute { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Total bytes a correctness-checking executor will move (all channels).
+    pub fn total_bytes(&self) -> u64 {
+        let s = self.stats();
+        s.cma_bytes + s.rail_bytes + s.copy_bytes + s.reduce_bytes
+    }
+
+    /// Renders the DAG in Graphviz DOT format (for debugging small
+    /// schedules; quadratic label text makes this impractical above a few
+    /// hundred ops).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=LR; node [shape=box, fontsize=9];");
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\\n{} {}B s{}\"];",
+                op.id.index(),
+                op.label,
+                op.kind.kind_name(),
+                op.kind.bytes(),
+                if op.has_step() { op.step as i64 } else { -1 },
+            );
+            for &d in &op.deps {
+                let _ = writeln!(out, "  {} -> {};", d.index(), op.id.index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::buffer::Loc;
+
+    fn tiny() -> Schedule {
+        let grid = ProcGrid::new(2, 2);
+        let mut b = ScheduleBuilder::new(grid, "tiny");
+        let s0 = b.private_buf(RankId(0), 16, "send0");
+        let r1 = b.private_buf(RankId(1), 16, "recv1");
+        let shm = b.shared_buf(NodeId(0), 32, "shm0");
+        let t = b.push(
+            OpKind::Transfer {
+                src_rank: RankId(0),
+                dst_rank: RankId(1),
+                src: Loc::new(s0, 0),
+                dst: Loc::new(r1, 0),
+                len: 16,
+                channel: Channel::Cma,
+            },
+            &[],
+            0,
+            "t",
+        );
+        b.push(
+            OpKind::Copy {
+                actor: RankId(1),
+                src: Loc::new(r1, 0),
+                dst: Loc::new(shm, 0),
+                len: 16,
+            },
+            &[t],
+            1,
+            "c",
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn stats_counts_bytes_by_channel() {
+        let s = tiny().stats();
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.cma_bytes, 16);
+        assert_eq!(s.copy_bytes, 16);
+        assert_eq!(s.rail_bytes, 0);
+        assert_eq!(s.cma_transfers, 1);
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.critical_path, 2);
+    }
+
+    #[test]
+    fn successors_inverts_deps() {
+        let sch = tiny();
+        let succ = sch.successors();
+        assert_eq!(succ[0], vec![OpId(1)]);
+        assert!(succ[1].is_empty());
+        assert_eq!(sch.indegrees(), vec![0, 1]);
+    }
+
+    #[test]
+    fn buffer_queries_filter_by_owner() {
+        let sch = tiny();
+        assert_eq!(sch.private_buffers_of(RankId(0)).count(), 1);
+        assert_eq!(sch.private_buffers_of(RankId(1)).count(), 1);
+        assert_eq!(sch.private_buffers_of(RankId(2)).count(), 0);
+        assert_eq!(sch.shared_buffers_of(NodeId(0)).count(), 1);
+        assert_eq!(sch.shared_buffers_of(NodeId(1)).count(), 0);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_op() {
+        let sch = tiny();
+        let dot = sch.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("0 -> 1;"));
+    }
+
+    #[test]
+    fn total_bytes_sums_channels() {
+        assert_eq!(tiny().total_bytes(), 32);
+    }
+
+    #[test]
+    fn unassigned_steps_do_not_count() {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "t");
+        b.push(
+            OpKind::Compute {
+                actor: RankId(0),
+                flops: 1,
+            },
+            &[],
+            u32::MAX, // unassigned
+            "x",
+        );
+        let stats = b.finish().stats();
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.critical_path, 1);
+    }
+
+    #[test]
+    fn critical_path_tracks_longest_chain_not_op_count() {
+        let grid = ProcGrid::single_node(2);
+        let mut b = ScheduleBuilder::new(grid, "t");
+        // Two independent chains of depth 3 and 2.
+        let mut prev = None;
+        for i in 0..3u32 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.compute(RankId(0), 1, &deps, i));
+        }
+        let a = b.compute(RankId(1), 1, &[], 0);
+        b.compute(RankId(1), 1, &[a], 1);
+        let stats = b.finish().stats();
+        assert_eq!(stats.ops, 5);
+        assert_eq!(stats.critical_path, 3);
+    }
+}

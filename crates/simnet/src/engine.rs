@@ -1,0 +1,1214 @@
+//! The discrete-event engine: executes a schedule DAG in virtual time on a
+//! [`ClusterSpec`], with fluid max-min fair bandwidth sharing.
+//!
+//! Each op, once its dependencies finish, pays a fixed startup latency
+//! (α_C / α_H / α_L, plus the rendezvous handshake for large rail messages)
+//! and then becomes one or more *flows*. A flow occupies a set of resources
+//! (see [`crate::resources`]) and drains its byte count at the max-min fair
+//! rate. Whenever a flow starts or finishes, rates are recomputed — but only
+//! for the *connected component* of flows reachable from the changed
+//! resources, so million-op flat-ring schedules stay tractable.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mha_sched::{Channel, OpKind, ProcGrid, Schedule};
+
+use crate::resources::{socket_of, ResourceId, ResourceMap};
+use crate::topology::ClusterSpec;
+use crate::trace::{OpSpan, Trace};
+use crate::waterfill::{FlowSpec, WaterFiller};
+
+/// An error preventing simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// The schedule failed structural validation.
+    InvalidSchedule(mha_sched::ValidateError),
+    /// The cluster spec is physically implausible.
+    InvalidSpec(String),
+    /// The grid places more ranks on a node than the cluster has cores.
+    PpnExceedsCores {
+        /// Requested processes per node.
+        ppn: u32,
+        /// Available cores per node.
+        cores: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+            SimError::InvalidSpec(e) => write!(f, "invalid cluster spec: {e}"),
+            SimError::PpnExceedsCores { ppn, cores } => {
+                write!(f, "{ppn} processes per node exceed {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<mha_sched::ValidateError> for SimError {
+    fn from(e: mha_sched::ValidateError) -> Self {
+        SimError::InvalidSchedule(e)
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Record a per-op [`Trace`] (costs memory proportional to op count).
+    pub trace: bool,
+}
+
+/// The outcome of simulating one schedule.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the whole schedule, in seconds.
+    pub makespan: f64,
+    /// Completion time of each op, indexed like `Schedule::ops()`.
+    pub op_end: Vec<f64>,
+    /// Per-op timeline, if requested via [`SimConfig::trace`].
+    pub trace: Option<Trace>,
+    /// Events processed (diagnostics).
+    pub events: u64,
+    /// Peak number of simultaneously active flows.
+    pub max_concurrent_flows: usize,
+    /// Bytes that crossed each resource (for utilization reports).
+    pub resource_bytes: Vec<f64>,
+    /// Capacity of each resource (bytes/s), aligned with `resource_bytes`.
+    pub resource_capacity: Vec<f64>,
+    /// Labels of the resources, aligned with `resource_bytes`.
+    pub resource_labels: Vec<String>,
+}
+
+impl SimResult {
+    /// Makespan in microseconds — the unit the paper reports.
+    pub fn latency_us(&self) -> f64 {
+        self.makespan * 1e6
+    }
+
+    /// Utilization (0..=1) of each resource over the makespan.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.resource_bytes
+            .iter()
+            .zip(&self.resource_capacity)
+            .map(|(b, c)| {
+                if self.makespan > 0.0 {
+                    b / (c * self.makespan)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// The busiest resource and its utilization.
+    pub fn bottleneck(&self) -> Option<(String, f64)> {
+        let util = self.utilization();
+        let (i, u) = util
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some((self.resource_labels[i].clone(), *u))
+    }
+}
+
+#[derive(Debug)]
+struct Flow {
+    op: u32,
+    /// `(resource, weight)` pairs: the flow consumes `weight · rate` of
+    /// each resource while active.
+    resources: Vec<(ResourceId, f64)>,
+    cap: f64,
+    remaining: f64,
+    rate: f64,
+    last_update: f64,
+    version: u64,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Op's startup latency elapsed: materialize its flows.
+    Start { op: u32 },
+    /// A flow predicted to drain at this time (stale if version mismatches).
+    Finish { flow: u32, version: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEv {
+    time: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed comparison: BinaryHeap is a max-heap, we want min-time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Relative tolerance when deciding whether a flow's rate changed enough to
+/// reschedule its completion event.
+const RATE_EPS: f64 = 1e-12;
+
+/// Mutable simulation state, boxed into one struct so helper methods can
+/// borrow it wholesale.
+struct EngineState {
+    flows: Vec<Flow>,
+    free_flows: Vec<u32>,
+    res_flows: Vec<Vec<u32>>,
+    resource_bytes: Vec<f64>,
+    res_stamp: Vec<u64>,
+    flow_stamp: Vec<u64>,
+    epoch: u64,
+    heap: BinaryHeap<HeapEv>,
+    seq: u64,
+    filler: WaterFiller,
+    rates: Vec<f64>,
+    active_flows: usize,
+    max_active: usize,
+}
+
+impl EngineState {
+    fn push_event(&mut self, time: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(HeapEv {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Recomputes max-min rates over the connected component reachable from
+    /// `seed_resources`, settling byte accounting at `now` and rescheduling
+    /// completion predictions for flows whose rate changed.
+    fn recompute(&mut self, now: f64, seed_resources: &[ResourceId], rmap: &ResourceMap) {
+        self.epoch += 1;
+        let e = self.epoch;
+        let mut comp: Vec<u32> = Vec::new();
+        let mut stack: Vec<ResourceId> = Vec::new();
+        for &r in seed_resources {
+            if self.res_stamp[r.index()] != e {
+                self.res_stamp[r.index()] = e;
+                stack.push(r);
+            }
+        }
+        while let Some(r) = stack.pop() {
+            for &fi in &self.res_flows[r.index()] {
+                if self.flow_stamp[fi as usize] == e {
+                    continue;
+                }
+                self.flow_stamp[fi as usize] = e;
+                comp.push(fi);
+                for &(r2, _) in &self.flows[fi as usize].resources {
+                    if self.res_stamp[r2.index()] != e {
+                        self.res_stamp[r2.index()] = e;
+                        stack.push(r2);
+                    }
+                }
+            }
+        }
+        if comp.is_empty() {
+            return;
+        }
+
+        // Settle accounting up to `now`.
+        for &fi in &comp {
+            let f = &mut self.flows[fi as usize];
+            let dt = now - f.last_update;
+            if dt > 0.0 && f.rate > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                for &(r, w) in &f.resources {
+                    self.resource_bytes[r.index()] += moved * w;
+                }
+                f.remaining -= moved;
+            }
+            f.last_update = now;
+        }
+
+        // Water-fill the component.
+        let flows = &self.flows;
+        let specs: Vec<FlowSpec<'_>> = comp
+            .iter()
+            .map(|&fi| {
+                let f = &flows[fi as usize];
+                FlowSpec {
+                    cap: f.cap,
+                    resources: &f.resources,
+                }
+            })
+            .collect();
+        self.filler.fill(&specs, |r| rmap.capacity(r), &mut self.rates);
+        drop(specs);
+
+        for (k, &fi) in comp.iter().enumerate() {
+            let new_rate = self.rates[k];
+            let f = &mut self.flows[fi as usize];
+            let changed = (new_rate - f.rate).abs() > RATE_EPS * f.cap;
+            f.rate = new_rate;
+            if changed {
+                f.version += 1;
+                assert!(new_rate > 0.0, "flow starved by water-filling");
+                let t_fin = now + f.remaining / new_rate;
+                let (flow, version) = (fi, f.version);
+                self.push_event(t_fin, Ev::Finish { flow, version });
+            }
+        }
+    }
+}
+
+/// A discrete-event simulator for one cluster specification.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    spec: ClusterSpec,
+}
+
+impl Simulator {
+    /// Creates a simulator, validating the spec.
+    pub fn new(spec: ClusterSpec) -> Result<Self, SimError> {
+        spec.validate().map_err(SimError::InvalidSpec)?;
+        Ok(Simulator { spec })
+    }
+
+    /// The cluster being simulated.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Simulates `sch` with default options; returns virtual-time results.
+    pub fn run(&self, sch: &Schedule) -> Result<SimResult, SimError> {
+        self.run_with(sch, SimConfig::default())
+    }
+
+    /// Simulates `sch` with explicit options.
+    pub fn run_with(&self, sch: &Schedule, config: SimConfig) -> Result<SimResult, SimError> {
+        mha_sched::validate(sch, Some(self.spec.rails))?;
+        let grid = *sch.grid();
+        if grid.ppn() > self.spec.cores_per_node {
+            return Err(SimError::PpnExceedsCores {
+                ppn: grid.ppn(),
+                cores: self.spec.cores_per_node,
+            });
+        }
+        let rmap = ResourceMap::new(&grid, &self.spec);
+        let n_ops = sch.ops().len();
+
+        let mut indeg = sch.indegrees();
+        let succ = sch.successors();
+
+        let mut op_ready = vec![f64::NAN; n_ops];
+        let mut op_start = vec![f64::NAN; n_ops];
+        let mut op_end = vec![f64::NAN; n_ops];
+        let mut op_flows_left = vec![0u32; n_ops];
+        let mut rr_next_rail: Vec<u8> = vec![0; grid.nodes() as usize];
+
+        let mut st = EngineState {
+            flows: Vec::new(),
+            free_flows: Vec::new(),
+            res_flows: vec![Vec::new(); rmap.len()],
+            resource_bytes: vec![0.0; rmap.len()],
+            res_stamp: vec![0; rmap.len()],
+            flow_stamp: Vec::new(),
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            filler: WaterFiller::new(),
+            rates: Vec::new(),
+            active_flows: 0,
+            max_active: 0,
+        };
+
+        for (i, op) in sch.ops().iter().enumerate() {
+            if op.deps.is_empty() {
+                op_ready[i] = 0.0;
+                let alpha = self.op_alpha(sch, i);
+                st.push_event(alpha, Ev::Start { op: i as u32 });
+            }
+        }
+
+        let mut events = 0u64;
+        let mut completed = 0usize;
+        let mut makespan = 0.0f64;
+
+        while let Some(HeapEv { time, ev, .. }) = st.heap.pop() {
+            events += 1;
+            match ev {
+                Ev::Start { op } => {
+                    let oi = op as usize;
+                    op_start[oi] = time;
+                    let specs = self.op_flow_specs(sch, oi, &rmap, &grid, &mut rr_next_rail);
+                    let mut seeds: Vec<ResourceId> = Vec::new();
+                    let mut created = 0u32;
+                    for (cap, resources, bytes) in specs {
+                        if bytes <= 0.0 {
+                            continue;
+                        }
+                        created += 1;
+                        let fi = if let Some(fi) = st.free_flows.pop() {
+                            fi as usize
+                        } else {
+                            st.flows.push(Flow {
+                                op,
+                                resources: Vec::new(),
+                                cap: 1.0,
+                                remaining: 0.0,
+                                rate: 0.0,
+                                last_update: 0.0,
+                                version: 0,
+                                alive: false,
+                            });
+                            st.flow_stamp.push(0);
+                            st.flows.len() - 1
+                        };
+                        let prev_version = st.flows[fi].version;
+                        st.flows[fi] = Flow {
+                            op,
+                            resources,
+                            cap,
+                            remaining: bytes,
+                            rate: 0.0,
+                            last_update: time,
+                            version: prev_version + 1,
+                            alive: true,
+                        };
+                        let no_resources = st.flows[fi].resources.is_empty();
+                        for ri in 0..st.flows[fi].resources.len() {
+                            let (r, _) = st.flows[fi].resources[ri];
+                            st.res_flows[r.index()].push(fi as u32);
+                            seeds.push(r);
+                        }
+                        if no_resources {
+                            // Pure compute never contends: run at cap now.
+                            let f = &mut st.flows[fi];
+                            f.rate = f.cap;
+                            let t_fin = time + f.remaining / f.rate;
+                            let version = f.version;
+                            st.push_event(
+                                t_fin,
+                                Ev::Finish {
+                                    flow: fi as u32,
+                                    version,
+                                },
+                            );
+                        }
+                        st.active_flows += 1;
+                    }
+                    st.max_active = st.max_active.max(st.active_flows);
+                    if created == 0 {
+                        // Latency-only op (e.g. Compute { flops: 0 }).
+                        op_end[oi] = time;
+                        completed += 1;
+                        makespan = makespan.max(time);
+                        self.enqueue_ready(
+                            sch, oi, time, &succ, &mut indeg, &mut op_ready, &mut st,
+                        );
+                        continue;
+                    }
+                    op_flows_left[oi] = created;
+                    if !seeds.is_empty() {
+                        st.recompute(time, &seeds, &rmap);
+                    }
+                }
+                Ev::Finish { flow, version } => {
+                    let fi = flow as usize;
+                    if !st.flows[fi].alive || st.flows[fi].version != version {
+                        continue; // stale prediction
+                    }
+                    let oi;
+                    let weighted: Vec<(ResourceId, f64)>;
+                    {
+                        let f = &mut st.flows[fi];
+                        let dt = time - f.last_update;
+                        let moved = (f.rate * dt).min(f.remaining);
+                        f.remaining -= moved;
+                        f.last_update = time;
+                        debug_assert!(
+                            f.remaining < 1.0,
+                            "flow finished with {} bytes left",
+                            f.remaining
+                        );
+                        f.alive = false;
+                        f.version += 1;
+                        oi = f.op as usize;
+                        weighted = std::mem::take(&mut f.resources);
+                        for &(r, w) in &weighted {
+                            st.resource_bytes[r.index()] += moved * w;
+                        }
+                    }
+                    let seeds: Vec<ResourceId> = weighted.iter().map(|&(r, _)| r).collect();
+                    for &r in &seeds {
+                        let list = &mut st.res_flows[r.index()];
+                        if let Some(pos) = list.iter().position(|&x| x == flow) {
+                            list.swap_remove(pos);
+                        }
+                    }
+                    st.free_flows.push(flow);
+                    st.active_flows -= 1;
+
+                    op_flows_left[oi] -= 1;
+                    if op_flows_left[oi] == 0 {
+                        op_end[oi] = time;
+                        completed += 1;
+                        makespan = makespan.max(time);
+                        self.enqueue_ready(
+                            sch, oi, time, &succ, &mut indeg, &mut op_ready, &mut st,
+                        );
+                    }
+                    if !seeds.is_empty() {
+                        st.recompute(time, &seeds, &rmap);
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            completed, n_ops,
+            "simulation deadlocked: {} of {n_ops} ops incomplete",
+            n_ops - completed
+        );
+
+        let trace = if config.trace {
+            let spans = sch
+                .ops()
+                .iter()
+                .enumerate()
+                .map(|(i, op)| OpSpan {
+                    op: op.id,
+                    ready: op_ready[i],
+                    start: op_start[i],
+                    end: op_end[i],
+                })
+                .collect();
+            Some(Trace::new(sch, spans))
+        } else {
+            None
+        };
+
+        Ok(SimResult {
+            makespan,
+            op_end,
+            trace,
+            events,
+            max_concurrent_flows: st.max_active,
+            resource_bytes: st.resource_bytes,
+            resource_capacity: rmap.capacities().to_vec(),
+            resource_labels: (0..rmap.len())
+                .map(|i| rmap.label(ResourceId(i as u32)))
+                .collect(),
+        })
+    }
+
+    /// Marks successors of a completed op ready and schedules their starts.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_ready(
+        &self,
+        sch: &Schedule,
+        oi: usize,
+        time: f64,
+        succ: &[Vec<mha_sched::OpId>],
+        indeg: &mut [u32],
+        op_ready: &mut [f64],
+        st: &mut EngineState,
+    ) {
+        for &s in &succ[oi] {
+            let si = s.index();
+            indeg[si] -= 1;
+            if indeg[si] == 0 {
+                op_ready[si] = time;
+                let alpha = self.op_alpha(sch, si);
+                st.push_event(time + alpha, Ev::Start { op: si as u32 });
+            }
+        }
+    }
+
+    /// Whether any of `locs` lives in a node-shared buffer whose home
+    /// socket differs from `actor_socket`.
+    fn touches_remote_home(sch: &Schedule, locs: &[mha_sched::Loc], actor_socket: u32) -> bool {
+        locs.iter().any(|loc| {
+            sch.buffer(loc.buf)
+                .home_socket
+                .is_some_and(|h| h != actor_socket)
+        })
+    }
+
+    /// Startup latency of op `oi`.
+    fn op_alpha(&self, sch: &Schedule, oi: usize) -> f64 {
+        match &sch.ops()[oi].kind {
+            OpKind::Transfer {
+                src_rank,
+                dst_rank,
+                len,
+                channel,
+                ..
+            } => match channel {
+                Channel::Cma => {
+                    let grid = sch.grid();
+                    let xs = self
+                        .spec
+                        .numa
+                        .as_ref()
+                        .filter(|n| n.cross_socket(grid, *src_rank, *dst_rank))
+                        .map_or(0.0, |n| n.xsocket_alpha);
+                    self.spec.cma_alpha + xs
+                }
+                Channel::Rail(_) | Channel::AllRails => self.spec.rail_startup(*len),
+            },
+            OpKind::Copy { .. } | OpKind::Reduce { .. } => self.spec.copy_alpha,
+            OpKind::Compute { .. } => 0.0,
+        }
+    }
+
+    /// Expands op `oi` into flow specs `(rate cap, weighted resources, bytes)`.
+    /// The round-robin rail for small `AllRails` messages is chosen here —
+    /// i.e. when the transfer actually starts, matching an MPI pt2pt layer
+    /// choosing the rail as the message hits the wire.
+    fn op_flow_specs(
+        &self,
+        sch: &Schedule,
+        oi: usize,
+        rmap: &ResourceMap,
+        grid: &ProcGrid,
+        rr_next_rail: &mut [u8],
+    ) -> Vec<(f64, Vec<(ResourceId, f64)>, f64)> {
+        let spec = &self.spec;
+        match &sch.ops()[oi].kind {
+            OpKind::Transfer {
+                src_rank,
+                dst_rank,
+                len,
+                channel,
+                ..
+            } => {
+                let sn = grid.node_of(*src_rank);
+                let dn = grid.node_of(*dst_rank);
+                match channel {
+                    Channel::Cma => {
+                        let sck = socket_of(spec, grid, *dst_rank);
+                        let mut res = vec![
+                            (rmap.cpu(*dst_rank), 1.0),
+                            (rmap.mem(dn, sck), spec.cma_mem_weight),
+                        ];
+                        if let Some(numa) = &spec.numa {
+                            if numa.cross_socket(grid, *src_rank, *dst_rank) {
+                                res.push((rmap.xsocket(dn), 1.0));
+                            }
+                        }
+                        vec![(spec.cma_bw, res, *len as f64)]
+                    }
+                    Channel::Rail(h) => vec![(
+                        spec.rail_bw,
+                        vec![(rmap.tx(sn, *h), 1.0), (rmap.rx(dn, *h), 1.0)],
+                        *len as f64,
+                    )],
+                    Channel::AllRails => {
+                        if spec.stripes(*len) {
+                            let h = usize::from(spec.rails);
+                            let base = *len / h;
+                            let rem = *len % h;
+                            (0..spec.rails)
+                                .map(|r| {
+                                    let bytes = base + usize::from(usize::from(r) < rem);
+                                    (
+                                        spec.rail_bw,
+                                        vec![(rmap.tx(sn, r), 1.0), (rmap.rx(dn, r), 1.0)],
+                                        bytes as f64,
+                                    )
+                                })
+                                .filter(|(_, _, b)| *b > 0.0)
+                                .collect()
+                        } else {
+                            let h = rr_next_rail[sn.index()];
+                            rr_next_rail[sn.index()] = (h + 1) % spec.rails;
+                            vec![(
+                                spec.rail_bw,
+                                vec![(rmap.tx(sn, h), 1.0), (rmap.rx(dn, h), 1.0)],
+                                *len as f64,
+                            )]
+                        }
+                    }
+                }
+            }
+            OpKind::Copy {
+                actor,
+                src,
+                dst,
+                len,
+            } => {
+                let node = grid.node_of(*actor);
+                let sck = socket_of(spec, grid, *actor);
+                let mut res = vec![(rmap.cpu(*actor), 1.0), (rmap.mem(node, sck), 1.0)];
+                // First-touch shm pages on another socket route the copy
+                // through the cross-socket interconnect.
+                if spec.numa.is_some()
+                    && Self::touches_remote_home(sch, &[*src, *dst], sck)
+                {
+                    res.push((rmap.xsocket(node), 1.0));
+                }
+                vec![(spec.copy_bw, res, *len as f64)]
+            }
+            OpKind::Reduce {
+                actor,
+                acc,
+                operand,
+                len,
+                ..
+            } => {
+                let node = grid.node_of(*actor);
+                let sck = socket_of(spec, grid, *actor);
+                let mut res = vec![
+                    (rmap.cpu(*actor), 1.0),
+                    (rmap.mem(node, sck), spec.reduce_mem_weight),
+                ];
+                if spec.numa.is_some()
+                    && Self::touches_remote_home(sch, &[*acc, *operand], sck)
+                {
+                    res.push((rmap.xsocket(node), 1.0));
+                }
+                vec![(spec.reduce_bw(), res, *len as f64)]
+            }
+            OpKind::Compute { actor, flops } => {
+                // Convert FLOPs to CPU byte-equivalents so compute and copy
+                // contend for the same core in one unit system.
+                let bytes = *flops as f64 * spec.copy_bw / spec.flops_rate;
+                vec![(spec.copy_bw, vec![(rmap.cpu(*actor), 1.0)], bytes)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mha_sched::{Loc, RankId, ScheduleBuilder};
+
+    fn sim() -> Simulator {
+        Simulator::new(ClusterSpec::thor()).unwrap()
+    }
+
+    fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-30)
+    }
+
+    #[test]
+    fn single_cma_transfer_matches_alpha_beta() {
+        let grid = ProcGrid::single_node(2);
+        let mut b = ScheduleBuilder::new(grid, "cma1");
+        let len = 1 << 20;
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.cma_alpha + len as f64 / spec.cma_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn single_rail_transfer_includes_rendezvous() {
+        let grid = ProcGrid::new(2, 1);
+        let mut b = ScheduleBuilder::new(grid, "rail1");
+        let len = 1 << 20;
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::Rail(0),
+            &[],
+            0,
+        );
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_alpha + spec.rndv_extra + len as f64 / spec.rail_bw;
+        assert!(rel_close(r.makespan, expect, 1e-9));
+    }
+
+    #[test]
+    fn striped_transfer_is_about_twice_as_fast() {
+        let grid = ProcGrid::new(2, 1);
+        let len = 4 << 20;
+        let build = |ch| {
+            let mut b = ScheduleBuilder::new(grid, "t");
+            let s = b.private_buf(RankId(0), len, "s");
+            let d = b.private_buf(RankId(1), len, "d");
+            b.transfer(
+                RankId(0),
+                RankId(1),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                len,
+                ch,
+                &[],
+                0,
+            );
+            b.finish()
+        };
+        let one = sim().run(&build(Channel::Rail(0))).unwrap().makespan;
+        let both = sim().run(&build(Channel::AllRails)).unwrap().makespan;
+        let ratio = one / both;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn small_allrails_messages_round_robin_across_rails() {
+        // Two small concurrent messages from the same node should land on
+        // different rails and overlap almost perfectly.
+        let grid = ProcGrid::new(2, 2);
+        let len = 4096;
+        let mut b = ScheduleBuilder::new(grid, "rr");
+        for r in 0..2u32 {
+            let s = b.private_buf(RankId(r), len, "s");
+            let d = b.private_buf(RankId(r + 2), len, "d");
+            b.transfer(
+                RankId(r),
+                RankId(r + 2),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                len,
+                Channel::AllRails,
+                &[],
+                0,
+            );
+        }
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let single = spec.rail_alpha + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, single, 1e-6),
+            "round-robin should overlap: {} vs {single}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn two_cma_transfers_to_one_rank_share_its_cpu() {
+        let grid = ProcGrid::single_node(3);
+        let len = 1 << 20;
+        let mut b = ScheduleBuilder::new(grid, "share");
+        let d = b.private_buf(RankId(2), 2 * len, "d");
+        for r in 0..2u32 {
+            let s = b.private_buf(RankId(r), len, "s");
+            b.transfer(
+                RankId(r),
+                RankId(2),
+                Loc::new(s, 0),
+                Loc::new(d, (r as usize) * len),
+                len,
+                Channel::Cma,
+                &[],
+                0,
+            );
+        }
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        // Both CMA flows cross cpu(r2) with capacity copy_bw: each gets
+        // copy_bw / 2 (their own cap cma_bw is not binding at that point).
+        let expect = spec.cma_alpha + len as f64 / (spec.copy_bw / 2.0);
+        assert!(
+            rel_close(r.makespan, expect, 1e-6),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn memory_congestion_emerges_with_many_copies() {
+        let spec = ClusterSpec::thor();
+        let l = 8u32;
+        let grid = ProcGrid::single_node(l);
+        let len = 1 << 20;
+        let mut b = ScheduleBuilder::new(grid, "mem");
+        let shm = b.shared_buf(mha_sched::NodeId(0), len, "shm");
+        for r in 0..l {
+            let d = b.private_buf(RankId(r), len, "d");
+            b.copy(RankId(r), Loc::new(shm, 0), Loc::new(d, 0), len, &[], 0);
+        }
+        let r = sim().run(&b.finish()).unwrap();
+        // 8 copies share mem_bw = 42 GB/s → 5.25 GB/s each, well under the
+        // 13 GB/s per-core cap.
+        let expect = spec.copy_alpha + len as f64 / (spec.mem_bw / l as f64);
+        assert!(
+            rel_close(r.makespan, expect, 1e-6),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn dependency_chain_adds_latencies() {
+        let grid = ProcGrid::single_node(2);
+        let len = 64 * 1024;
+        let mut b = ScheduleBuilder::new(grid, "chain");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        let e = b.private_buf(RankId(1), len, "e");
+        let t1 = b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        b.copy(RankId(1), Loc::new(d, 0), Loc::new(e, 0), len, &[t1], 1);
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.t_c(len) + spec.t_l(len);
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn compute_duration_is_flops_over_rate() {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "comp");
+        b.compute(RankId(0), 5_000_000, &[], 0);
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = 5.0e6 / spec.flops_rate;
+        assert!(rel_close(r.makespan, expect, 1e-9));
+    }
+
+    #[test]
+    fn zero_flop_compute_completes_instantly() {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "zero");
+        let c = b.compute(RankId(0), 0, &[], 0);
+        b.compute(RankId(0), 1000, &[c], 1);
+        let r = sim().run(&b.finish()).unwrap();
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.op_end.len(), 2);
+        assert!(r.op_end[0] <= r.op_end[1]);
+    }
+
+    #[test]
+    fn op_end_respects_dependencies() {
+        let grid = ProcGrid::single_node(4);
+        let mut b = ScheduleBuilder::new(grid, "deps");
+        let mut prev = None;
+        for i in 0..10u32 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.compute(RankId(i % 4), 1000, &deps, i));
+        }
+        let sch = b.finish();
+        let r = sim().run(&sch).unwrap();
+        for op in sch.ops() {
+            for &d in &op.deps {
+                assert!(r.op_end[d.index()] <= r.op_end[op.id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let grid = ProcGrid::new(2, 4);
+        let mut b = ScheduleBuilder::new(grid, "det");
+        for r in 0..4u32 {
+            let len = 10_000 * (r as usize + 1);
+            let s = b.private_buf(RankId(r), len, "s");
+            let d = b.private_buf(RankId(r + 4), len, "d");
+            b.transfer(
+                RankId(r),
+                RankId(r + 4),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                len,
+                Channel::AllRails,
+                &[],
+                0,
+            );
+        }
+        let sch = b.finish();
+        let a = sim().run(&sch).unwrap();
+        let b2 = sim().run(&sch).unwrap();
+        assert_eq!(a.makespan, b2.makespan);
+        assert_eq!(a.op_end, b2.op_end);
+        assert_eq!(a.events, b2.events);
+    }
+
+    #[test]
+    fn ppn_over_cores_is_rejected() {
+        let grid = ProcGrid::single_node(64);
+        let mut b = ScheduleBuilder::new(grid, "big");
+        b.compute(RankId(0), 1, &[], 0);
+        let err = sim().run(&b.finish()).unwrap_err();
+        assert!(matches!(err, SimError::PpnExceedsCores { ppn: 64, cores: 32 }));
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected() {
+        let grid = ProcGrid::new(2, 1);
+        let mut b = ScheduleBuilder::new(grid, "bad");
+        let s = b.private_buf(RankId(0), 8, "s");
+        let d = b.private_buf(RankId(1), 8, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            8,
+            Channel::Rail(7),
+            &[],
+            0,
+        );
+        assert!(matches!(
+            sim().run(&b.finish()).unwrap_err(),
+            SimError::InvalidSchedule(_)
+        ));
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_bottleneck_sane() {
+        let grid = ProcGrid::new(2, 1);
+        let len = 1 << 22;
+        let mut b = ScheduleBuilder::new(grid, "util");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::Rail(0),
+            &[],
+            0,
+        );
+        let r = sim().run(&b.finish()).unwrap();
+        for u in r.utilization() {
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        let (label, util) = r.bottleneck().unwrap();
+        assert!(label.starts_with("tx") || label.starts_with("rx"), "{label}");
+        assert!(util > 0.9, "rail should be nearly saturated: {util}");
+    }
+
+    #[test]
+    fn striping_handles_non_divisible_lengths() {
+        // An odd length splits into base/base+1 subflows; all bytes must
+        // arrive and the makespan matches the larger stripe.
+        let grid = ProcGrid::new(2, 1);
+        let len = (1 << 20) + 1; // odd, above stripe threshold
+        let mut b = ScheduleBuilder::new(grid, "odd");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::AllRails,
+            &[],
+            0,
+        );
+        let r = sim().run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_startup(len) + ((len + 1) / 2) as f64 / spec.rail_bw;
+        assert!(rel_close(r.makespan, expect, 1e-9), "{} vs {expect}", r.makespan);
+        // Both rails carried traffic.
+        let tx_bytes: f64 = r
+            .resource_labels
+            .iter()
+            .zip(&r.resource_bytes)
+            .filter(|(l, _)| l.starts_with("tx(n0"))
+            .map(|(_, b)| *b)
+            .sum();
+        assert!((tx_bytes - len as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_rail_cluster_never_stripes() {
+        let one = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();
+        let grid = ProcGrid::new(2, 1);
+        let len = 1 << 20;
+        let mut b = ScheduleBuilder::new(grid, "one-rail");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::AllRails,
+            &[],
+            0,
+        );
+        let r = one.run(&b.finish()).unwrap();
+        let spec = ClusterSpec::thor_single_rail();
+        let expect = spec.rail_startup(len) + len as f64 / spec.rail_bw;
+        assert!(rel_close(r.makespan, expect, 1e-9));
+        assert_eq!(r.max_concurrent_flows, 1);
+    }
+
+    #[test]
+    fn event_count_is_linear_in_ops_for_chain_schedules() {
+        // A dependency chain produces O(1) events per op (no rate-change
+        // amplification when components are singletons).
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "chain");
+        let n = 200u32;
+        let buf = b.private_buf(RankId(0), 64, "p");
+        let buf2 = b.private_buf(RankId(0), 64, "q");
+        let mut prev = None;
+        for i in 0..n {
+            let deps: Vec<_> = prev.into_iter().collect();
+            let (s, d) = if i % 2 == 0 { (buf, buf2) } else { (buf2, buf) };
+            prev = Some(b.copy(RankId(0), Loc::new(s, 0), Loc::new(d, 0), 64, &deps, i));
+        }
+        let r = sim().run(&b.finish()).unwrap();
+        assert!(r.events <= 3 * u64::from(n), "events {}", r.events);
+    }
+
+    #[test]
+    fn numa_cross_socket_cma_pays_the_interconnect() {
+        let spec = ClusterSpec::thor_numa();
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let grid = ProcGrid::single_node(8); // sockets: ranks 0-3 / 4-7
+        let len = 1 << 20;
+        let build = |src: u32, dst: u32| {
+            let mut b = ScheduleBuilder::new(grid, "numa");
+            let s = b.private_buf(RankId(src), len, "s");
+            let d = b.private_buf(RankId(dst), len, "d");
+            b.transfer(
+                RankId(src),
+                RankId(dst),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                len,
+                Channel::Cma,
+                &[],
+                0,
+            );
+            b.finish()
+        };
+        let same = sim.run(&build(0, 1)).unwrap().makespan;
+        let cross = sim.run(&build(0, 5)).unwrap().makespan;
+        // Even one cross-socket stream runs at the interconnect's
+        // effective rate rather than the local controller's…
+        assert!(cross > same * 1.3, "cross {cross} vs same {same}");
+        // …and concurrent cross-socket streams share it.
+        let mut b = ScheduleBuilder::new(grid, "numa-congested");
+        for i in 0..4u32 {
+            let s = b.private_buf(RankId(i), len, "s");
+            let d = b.private_buf(RankId(i + 4), len, "d");
+            b.transfer(
+                RankId(i),
+                RankId(i + 4),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                len,
+                Channel::Cma,
+                &[],
+                0,
+            );
+        }
+        let congested = sim.run(&b.finish()).unwrap().makespan;
+        let numa = spec.numa.as_ref().unwrap();
+        let expect = spec.cma_alpha + numa.xsocket_alpha
+            + len as f64 / (numa.xsocket_bw / 4.0);
+        assert!(
+            (congested - expect).abs() < 0.05 * expect,
+            "congested {congested} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn numa_same_socket_traffic_is_unaffected() {
+        // Same-socket transfers on the NUMA spec behave like the uniform
+        // model with a per-socket memory controller.
+        let numa = Simulator::new(ClusterSpec::thor_numa()).unwrap();
+        let grid = ProcGrid::single_node(4); // all on socket 0
+        let len = 256 * 1024;
+        let mut b = ScheduleBuilder::new(grid, "same-socket");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let spec = ClusterSpec::thor_numa();
+        let t = numa.run(&sch).unwrap().makespan;
+        // One CMA stream on one socket: bounded by the per-socket memory
+        // controller (mem_bw/2 at weight 2 = 10.5 GB/s), not the 11 GB/s
+        // CMA cap.
+        let per_socket = spec.mem_bw / 2.0 / spec.cma_mem_weight;
+        let expect = spec.cma_alpha + len as f64 / per_socket.min(spec.cma_bw);
+        assert!((t - expect).abs() < 1e-9 * expect.max(1.0), "{t} vs {expect}");
+    }
+
+    #[test]
+    fn trace_records_spans_when_enabled() {
+        let grid = ProcGrid::single_node(2);
+        let mut b = ScheduleBuilder::new(grid, "tr");
+        let s = b.private_buf(RankId(0), 1024, "s");
+        let d = b.private_buf(RankId(1), 1024, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            1024,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        let sch = b.finish();
+        let r = sim().run_with(&sch, SimConfig { trace: true }).unwrap();
+        let t = r.trace.unwrap();
+        assert_eq!(t.spans().len(), 1);
+        let sp = t.spans()[0];
+        assert_eq!(sp.ready, 0.0);
+        assert!(sp.start > sp.ready);
+        assert!(sp.end > sp.start);
+        let no_trace = sim().run(&sch).unwrap();
+        assert!(no_trace.trace.is_none());
+    }
+}

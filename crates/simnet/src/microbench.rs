@@ -1,0 +1,170 @@
+//! OSU-style point-to-point micro-benchmarks on the simulator.
+//!
+//! These regenerate the measurements behind the paper's motivation figures:
+//! Figure 1 (intra-node CMA vs inter-node 1-HCA vs 2-HCA bandwidth) and
+//! Figure 3 (inter-node latency with one and two HCAs). The harness mirrors
+//! `osu_bw` (a window of back-to-back non-blocking sends) and `osu_latency`
+//! (a ping-pong) — deterministic simulation makes warm-up iterations moot.
+
+use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+
+use crate::engine::{SimError, Simulator};
+
+/// Which pair of processes the benchmark runs between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Two ranks on one node, communicating over CMA.
+    IntraNode,
+    /// Two ranks on two nodes, communicating over the rails
+    /// (round-robin/striped by the pt2pt layer's policy).
+    InterNode,
+}
+
+fn pair_grid(placement: Placement) -> (ProcGrid, RankId, RankId) {
+    match placement {
+        Placement::IntraNode => (ProcGrid::single_node(2), RankId(0), RankId(1)),
+        Placement::InterNode => (ProcGrid::new(2, 1), RankId(0), RankId(1)),
+    }
+}
+
+fn channel_for(placement: Placement) -> Channel {
+    match placement {
+        Placement::IntraNode => Channel::Cma,
+        Placement::InterNode => Channel::AllRails,
+    }
+}
+
+/// One-way latency (microseconds) of a `len`-byte message — the `osu_latency`
+/// ping-pong divided by two.
+pub fn pt2pt_latency_us(sim: &Simulator, placement: Placement, len: usize) -> Result<f64, SimError> {
+    let (grid, a, b) = pair_grid(placement);
+    let ch = channel_for(placement);
+    let mut sb = ScheduleBuilder::new(grid, "osu_latency");
+    let abuf = sb.private_buf(a, len, "a");
+    let bbuf = sb.private_buf(b, len, "b");
+    let ping = sb.transfer(a, b, Loc::new(abuf, 0), Loc::new(bbuf, 0), len, ch, &[], 0);
+    sb.transfer(b, a, Loc::new(bbuf, 0), Loc::new(abuf, 0), len, ch, &[ping], 1);
+    let res = sim.run(&sb.finish())?;
+    Ok(res.latency_us() / 2.0)
+}
+
+/// Uni-directional bandwidth (MB/s) of `len`-byte messages with a send
+/// window of `window` messages in flight — the `osu_bw` pattern.
+pub fn pt2pt_bandwidth_mbps(
+    sim: &Simulator,
+    placement: Placement,
+    len: usize,
+    window: usize,
+) -> Result<f64, SimError> {
+    assert!(window > 0, "window must be positive");
+    let (grid, a, b) = pair_grid(placement);
+    let ch = channel_for(placement);
+    let mut sb = ScheduleBuilder::new(grid, "osu_bw");
+    let abuf = sb.private_buf(a, len * window, "a");
+    let bbuf = sb.private_buf(b, len * window, "b");
+    for w in 0..window {
+        sb.transfer(
+            a,
+            b,
+            Loc::new(abuf, w * len),
+            Loc::new(bbuf, w * len),
+            len,
+            ch,
+            &[],
+            0,
+        );
+    }
+    let res = sim.run(&sb.finish())?;
+    let bytes = (len * window) as f64;
+    Ok(bytes / res.makespan / 1e6)
+}
+
+/// The standard OSU message-size sweep: powers of two from `lo` to `hi`
+/// inclusive.
+pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {
+    assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+    let mut v = Vec::new();
+    let mut m = lo;
+    while m <= hi {
+        v.push(m);
+        m *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterSpec;
+
+    fn sim(rails: u8) -> Simulator {
+        Simulator::new(ClusterSpec::thor_with_rails(rails)).unwrap()
+    }
+
+    #[test]
+    fn inter_node_bandwidth_doubles_with_second_rail() {
+        // The headline of Figure 1.
+        let len = 4 << 20;
+        let bw1 = pt2pt_bandwidth_mbps(&sim(1), Placement::InterNode, len, 64).unwrap();
+        let bw2 = pt2pt_bandwidth_mbps(&sim(2), Placement::InterNode, len, 64).unwrap();
+        let ratio = bw2 / bw1;
+        assert!(ratio > 1.85 && ratio < 2.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn intra_node_bandwidth_roughly_equals_one_rail() {
+        // Figure 1: "bandwidth of inter-node communication with one HCA is
+        // approximately equal to that of intra-node".
+        let len = 4 << 20;
+        let intra = pt2pt_bandwidth_mbps(&sim(2), Placement::IntraNode, len, 64).unwrap();
+        let inter1 = pt2pt_bandwidth_mbps(&sim(1), Placement::InterNode, len, 64).unwrap();
+        let ratio = intra / inter1;
+        assert!(ratio > 0.8 && ratio < 1.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn large_message_latency_halves_with_striping() {
+        // Figure 3: striping cuts large-message latency roughly in half.
+        let len = 4 << 20;
+        let l1 = pt2pt_latency_us(&sim(1), Placement::InterNode, len).unwrap();
+        let l2 = pt2pt_latency_us(&sim(2), Placement::InterNode, len).unwrap();
+        let ratio = l1 / l2;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn small_message_latency_unaffected_by_rail_count() {
+        // Below the striping threshold the second rail does not help a
+        // single message stream.
+        let len = 4096;
+        let l1 = pt2pt_latency_us(&sim(1), Placement::InterNode, len).unwrap();
+        let l2 = pt2pt_latency_us(&sim(2), Placement::InterNode, len).unwrap();
+        assert!((l1 / l2 - 1.0).abs() < 0.05, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn bandwidth_increases_with_message_size() {
+        let sim = sim(2);
+        let sizes = size_sweep(8 * 1024, 4 << 20);
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&m| pt2pt_bandwidth_mbps(&sim, Placement::InterNode, m, 64).unwrap())
+            .collect();
+        for w in bws.windows(2) {
+            assert!(w[1] >= w[0] * 0.99, "bandwidth not increasing: {bws:?}");
+        }
+        // Large messages approach 2 rails' worth of bandwidth (in MB/s).
+        assert!(bws.last().unwrap() > &20_000.0);
+    }
+
+    #[test]
+    fn size_sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(8, 64), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo <= hi")]
+    fn bad_sweep_rejected() {
+        size_sweep(64, 8);
+    }
+}

@@ -1,0 +1,295 @@
+//! Resource identity and capacity layout for a simulated cluster.
+//!
+//! Every op occupies a small set of resources while its fluid phase is
+//! active; the water-filling allocator shares each resource's capacity
+//! max-min fairly among the flows crossing it. The resource inventory per
+//! node is:
+//!
+//! * one **CPU copy engine** per rank (capacity `copy_bw`) — CPU copies,
+//!   CMA transfers and compute contend here;
+//! * one **memory** resource (capacity `mem_bw`) shared by all CPU-driven
+//!   byte movement on the node — this produces the paper's congestion
+//!   factor `cg(M, L−1)`;
+//! * per rail, a **tx** and an **rx** resource (capacity `rail_bw` each;
+//!   InfiniBand is full-duplex). HCA (RDMA) traffic deliberately does *not*
+//!   consume the memory resource: the paper's model treats HCA transfers as
+//!   independent of the CPU/memory path (`T_H` vs `T_C`), which is what
+//!   makes offloading profitable.
+
+use mha_sched::{NodeId, ProcGrid, RankId};
+
+use crate::topology::ClusterSpec;
+
+/// The socket a rank's CPU work charges (0 when NUMA modeling is off).
+pub(crate) fn socket_of(spec: &ClusterSpec, grid: &ProcGrid, rank: RankId) -> u32 {
+    spec.numa.as_ref().map_or(0, |n| n.socket_of(grid, rank))
+}
+
+/// Dense index of a simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// As a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maps (node, rank, rail, socket) coordinates to dense [`ResourceId`]s
+/// and back.
+#[derive(Debug, Clone)]
+pub struct ResourceMap {
+    nranks: u32,
+    nodes: u32,
+    rails: u8,
+    /// Sockets per node (1 = NUMA modeling off; then no xsocket resources).
+    sockets: u32,
+    capacities: Vec<f64>,
+}
+
+impl ResourceMap {
+    /// Builds the resource layout for `grid` on `spec`.
+    pub fn new(grid: &ProcGrid, spec: &ClusterSpec) -> Self {
+        let nranks = grid.nranks();
+        let nodes = grid.nodes();
+        let rails = spec.rails;
+        let sockets = spec.sockets();
+        let n_mem = nodes as usize * sockets as usize;
+        let n_rail = 2 * nodes as usize * rails as usize;
+        let n_xsocket = if sockets > 1 { nodes as usize } else { 0 };
+        let total = nranks as usize + n_mem + n_rail + n_xsocket;
+        let mut capacities = vec![0.0; total];
+        for r in 0..nranks {
+            capacities[r as usize] = spec.copy_bw;
+        }
+        // Per-socket memory controllers share the node's aggregate.
+        for i in 0..n_mem {
+            capacities[nranks as usize + i] = spec.mem_bw / f64::from(sockets);
+        }
+        let rail_base = nranks as usize + n_mem;
+        for i in 0..n_rail {
+            capacities[rail_base + i] = spec.rail_bw;
+        }
+        if let Some(numa) = &spec.numa {
+            for i in 0..n_xsocket {
+                capacities[rail_base + n_rail + i] = numa.xsocket_bw;
+            }
+        }
+        ResourceMap {
+            nranks,
+            nodes,
+            rails,
+            sockets,
+            capacities,
+        }
+    }
+
+    /// Total number of resources.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the map is empty (never true for a valid grid).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Capacity (bytes/s) of `r`.
+    #[inline]
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.capacities[r.index()]
+    }
+
+    /// All capacities, indexed by [`ResourceId`].
+    #[inline]
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// The CPU copy engine of `rank`.
+    #[inline]
+    pub fn cpu(&self, rank: RankId) -> ResourceId {
+        debug_assert!(rank.0 < self.nranks);
+        ResourceId(rank.0)
+    }
+
+    /// The memory resource of `socket` on `node` (socket 0 when NUMA
+    /// modeling is off).
+    #[inline]
+    pub fn mem(&self, node: NodeId, socket: u32) -> ResourceId {
+        debug_assert!(node.0 < self.nodes && socket < self.sockets);
+        ResourceId(self.nranks + node.0 * self.sockets + socket)
+    }
+
+    /// The transmit side of rail `h` on `node`.
+    #[inline]
+    pub fn tx(&self, node: NodeId, rail: u8) -> ResourceId {
+        debug_assert!(node.0 < self.nodes && rail < self.rails);
+        ResourceId(
+            self.nranks
+                + self.nodes * self.sockets
+                + node.0 * u32::from(self.rails)
+                + u32::from(rail),
+        )
+    }
+
+    /// The receive side of rail `h` on `node`.
+    #[inline]
+    pub fn rx(&self, node: NodeId, rail: u8) -> ResourceId {
+        debug_assert!(node.0 < self.nodes && rail < self.rails);
+        ResourceId(
+            self.nranks
+                + self.nodes * self.sockets
+                + self.nodes * u32::from(self.rails)
+                + node.0 * u32::from(self.rails)
+                + u32::from(rail),
+        )
+    }
+
+    /// The cross-socket interconnect of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that NUMA modeling is on (`sockets > 1`).
+    #[inline]
+    pub fn xsocket(&self, node: NodeId) -> ResourceId {
+        debug_assert!(self.sockets > 1, "xsocket needs NUMA modeling");
+        debug_assert!(node.0 < self.nodes);
+        ResourceId(
+            self.nranks
+                + self.nodes * self.sockets
+                + 2 * self.nodes * u32::from(self.rails)
+                + node.0,
+        )
+    }
+
+    /// Human-readable name of a resource, for traces and utilization dumps.
+    pub fn label(&self, r: ResourceId) -> String {
+        let i = r.0;
+        if i < self.nranks {
+            return format!("cpu(r{i})");
+        }
+        let i = i - self.nranks;
+        if i < self.nodes * self.sockets {
+            let node = i / self.sockets;
+            let socket = i % self.sockets;
+            return if self.sockets == 1 {
+                format!("mem(n{node})")
+            } else {
+                format!("mem(n{node},s{socket})")
+            };
+        }
+        let i = i - self.nodes * self.sockets;
+        let per_node = u32::from(self.rails);
+        if i < self.nodes * per_node {
+            return format!("tx(n{},h{})", i / per_node, i % per_node);
+        }
+        let i = i - self.nodes * per_node;
+        if i < self.nodes * per_node {
+            return format!("rx(n{},h{})", i / per_node, i % per_node);
+        }
+        let i = i - self.nodes * per_node;
+        format!("xsocket(n{i})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ResourceMap {
+        ResourceMap::new(&ProcGrid::new(2, 3), &ClusterSpec::thor())
+    }
+
+    #[test]
+    fn layout_is_dense_and_disjoint() {
+        let m = map();
+        // 6 cpus + 2 mems + 2 nodes * 2 rails * 2 directions = 16
+        assert_eq!(m.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..6 {
+            assert!(seen.insert(m.cpu(RankId(r))));
+        }
+        for n in 0..2 {
+            assert!(seen.insert(m.mem(NodeId(n), 0)));
+            for h in 0..2 {
+                assert!(seen.insert(m.tx(NodeId(n), h)));
+                assert!(seen.insert(m.rx(NodeId(n), h)));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert!(seen.iter().all(|r| r.index() < m.len()));
+    }
+
+    #[test]
+    fn capacities_follow_spec() {
+        let spec = ClusterSpec::thor();
+        let m = map();
+        assert_eq!(m.capacity(m.cpu(RankId(0))), spec.copy_bw);
+        assert_eq!(m.capacity(m.mem(NodeId(1), 0)), spec.mem_bw);
+        assert_eq!(m.capacity(m.tx(NodeId(0), 1)), spec.rail_bw);
+        assert_eq!(m.capacity(m.rx(NodeId(1), 0)), spec.rail_bw);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let m = map();
+        assert_eq!(m.label(m.cpu(RankId(4))), "cpu(r4)");
+        assert_eq!(m.label(m.mem(NodeId(0), 0)), "mem(n0)");
+        assert_eq!(m.label(m.tx(NodeId(1), 0)), "tx(n1,h0)");
+        assert_eq!(m.label(m.rx(NodeId(0), 1)), "rx(n0,h1)");
+    }
+
+    #[test]
+    fn not_empty() {
+        assert!(!map().is_empty());
+    }
+
+    #[test]
+    fn numa_layout_adds_socket_memories_and_interconnect() {
+        let spec = ClusterSpec::thor_numa();
+        let grid = ProcGrid::new(2, 4);
+        let m = ResourceMap::new(&grid, &spec);
+        // 8 cpus + 2 nodes * 2 sockets mem + 8 rail endpoints + 2 xsocket.
+        assert_eq!(m.len(), 8 + 4 + 8 + 2);
+        assert_eq!(
+            m.capacity(m.mem(NodeId(0), 1)),
+            spec.mem_bw / 2.0
+        );
+        let numa = spec.numa.as_ref().unwrap();
+        assert_eq!(m.capacity(m.xsocket(NodeId(1))), numa.xsocket_bw);
+        assert_eq!(m.label(m.mem(NodeId(1), 1)), "mem(n1,s1)");
+        assert_eq!(m.label(m.xsocket(NodeId(0))), "xsocket(n0)");
+        // All ids distinct.
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..8 {
+            assert!(seen.insert(m.cpu(RankId(r))));
+        }
+        for n in 0..2 {
+            for sck in 0..2 {
+                assert!(seen.insert(m.mem(NodeId(n), sck)));
+            }
+            for h in 0..2 {
+                assert!(seen.insert(m.tx(NodeId(n), h)));
+                assert!(seen.insert(m.rx(NodeId(n), h)));
+            }
+            assert!(seen.insert(m.xsocket(NodeId(n))));
+        }
+        assert_eq!(seen.len(), m.len());
+    }
+
+    #[test]
+    fn socket_of_defaults_to_zero_without_numa() {
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(1, 8);
+        for r in 0..8 {
+            assert_eq!(socket_of(&spec, &grid, RankId(r)), 0);
+        }
+        let numa_spec = ClusterSpec::thor_numa();
+        assert_eq!(socket_of(&numa_spec, &grid, RankId(7)), 1);
+    }
+}

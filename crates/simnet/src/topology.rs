@@ -1,0 +1,292 @@
+//! Cluster models: bandwidths, latencies and policies of the simulated
+//! machine.
+//!
+//! The default [`ClusterSpec::thor`] preset is calibrated to the envelope the
+//! paper measures on the HPC Advisory Council *Thor* cluster (Section 5.1 and
+//! Figures 1/3): dual-socket 32-core Broadwell nodes, 2 × ConnectX-6 HDR100
+//! rails, CMA intra-node copies whose bandwidth roughly equals one rail, and
+//! a memory subsystem that congests when many ranks copy concurrently.
+
+/// Static description of the simulated cluster hardware.
+///
+/// All bandwidths are in bytes/second, all latencies in seconds. The fields
+/// map onto the paper's Table 1 notation where one exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// HCAs per node (`H`). Thor: 2.
+    pub rails: u8,
+    /// Peak bandwidth of one rail in one direction (`BW_H`).
+    /// HDR100 ≈ 100 Gb/s ≈ 12.5 GB/s raw; ~12 GB/s at MPI level (Fig. 1).
+    pub rail_bw: f64,
+    /// Startup time of an inter-node transfer (`α_H`).
+    pub rail_alpha: f64,
+    /// Extra startup charged to rail messages at or above
+    /// [`ClusterSpec::rndv_threshold`] — the rendezvous handshake
+    /// (Section 2.3 mentions the protocol overheads this models).
+    pub rndv_extra: f64,
+    /// Message size (bytes) at which the rendezvous protocol kicks in.
+    pub rndv_threshold: usize,
+    /// Message size (bytes) at which the point-to-point layer stripes one
+    /// message across all rails instead of placing it on one rail
+    /// round-robin (Section 2.1: a rail saturates at 16 KB).
+    pub stripe_threshold: usize,
+    /// Bandwidth of a kernel-assisted single-copy intra-node transfer
+    /// (`BW_C`). Approximately one rail's bandwidth on Thor (Fig. 1).
+    pub cma_bw: f64,
+    /// Startup time of a CMA transfer (`α_C`) — includes the syscall.
+    pub cma_alpha: f64,
+    /// Bandwidth of a plain local memcpy by one core (`BW_L`).
+    pub copy_bw: f64,
+    /// Startup cost of a local memcpy (`α_L`).
+    pub copy_alpha: f64,
+    /// Aggregate memory bandwidth of one node available to copy engines.
+    /// When concurrent copies exceed `mem_bw / copy_bw` streams, each gets a
+    /// fair share — this is what produces the paper's congestion factor
+    /// `cg(M, L-1)` and the `b` factor in `T_C`.
+    pub mem_bw: f64,
+    /// Sustained floating-point rate of one core (used by `Compute` ops;
+    /// matvec is memory-bound so this is a streaming-FLOP rate, not peak).
+    pub flops_rate: f64,
+    /// CPU cores per node; `ppn` may not exceed this.
+    pub cores_per_node: u32,
+    /// How hard one CMA payload byte loads the node memory system relative
+    /// to one streaming shm-memcpy byte. Kernel-assisted copies
+    /// (`process_vm_readv`) walk and touch both processes' pages through
+    /// kernel mappings without non-temporal stores, so under concurrency
+    /// they saturate DRAM roughly twice as fast per payload byte as a
+    /// tuned shared-memory memcpy — this is the mechanism behind the
+    /// paper's observation that the flat algorithms are "bottlenecked by
+    /// the slowest links — intra-node transfers" (Section 1.1) while the
+    /// shm-pipeline designs are not.
+    pub cma_mem_weight: f64,
+    /// Memory load of one reduction byte relative to a memcpy byte
+    /// (read + read + write ≈ 1.5 × a copy's read + write).
+    pub reduce_mem_weight: f64,
+    /// Optional NUMA layout. `None` (the paper-reproduction default) models
+    /// each node's memory as one uniform resource; `Some` splits it across
+    /// sockets and adds a cross-socket interconnect — the substrate for the
+    /// paper's future-work 3-level design (Section 7).
+    pub numa: Option<crate::numa::NumaSpec>,
+}
+
+impl ClusterSpec {
+    /// The Thor-like preset used for every paper experiment.
+    pub fn thor() -> Self {
+        ClusterSpec {
+            rails: 2,
+            rail_bw: 12.0e9,
+            rail_alpha: 1.6e-6,
+            rndv_extra: 2.0e-6,
+            rndv_threshold: 16 * 1024,
+            stripe_threshold: 16 * 1024,
+            cma_bw: 11.0e9,
+            cma_alpha: 0.8e-6,
+            copy_bw: 13.0e9,
+            copy_alpha: 0.3e-6,
+            mem_bw: 42.0e9,
+            flops_rate: 5.0e9,
+            cores_per_node: 32,
+            cma_mem_weight: 2.0,
+            reduce_mem_weight: 1.5,
+            numa: None,
+        }
+    }
+
+    /// The Thor preset with its dual-socket Broadwell NUMA layout made
+    /// visible (per-socket memory controllers + UPI link). Used by the
+    /// future-work 3-level experiments; the paper-reproduction figures use
+    /// the NUMA-blind [`ClusterSpec::thor`].
+    pub fn thor_numa() -> Self {
+        ClusterSpec {
+            numa: Some(crate::numa::NumaSpec::broadwell_2s()),
+            ..Self::thor()
+        }
+    }
+
+    /// Sockets per node (1 when NUMA modeling is off).
+    pub fn sockets(&self) -> u32 {
+        self.numa.as_ref().map_or(1, |n| n.sockets)
+    }
+
+    /// A single-rail variant of [`ClusterSpec::thor`] — the "1 HCA" series
+    /// of Figures 1 and 3.
+    pub fn thor_single_rail() -> Self {
+        ClusterSpec {
+            rails: 1,
+            ..Self::thor()
+        }
+    }
+
+    /// A Thor-like cluster with `rails` HCAs per node (the ThetaGPU
+    /// motivation: up to 8 rails).
+    pub fn thor_with_rails(rails: u8) -> Self {
+        assert!(rails > 0, "a cluster needs at least one rail");
+        ClusterSpec {
+            rails,
+            ..Self::thor()
+        }
+    }
+
+    /// Effective per-flow cap of a `Reduce` op's CPU stream: a reduction
+    /// reads two streams and writes one, so it moves roughly twice the bytes
+    /// of a plain copy per output byte.
+    pub fn reduce_bw(&self) -> f64 {
+        self.copy_bw / 2.0
+    }
+
+    /// Startup latency charged to a rail message of `len` bytes.
+    pub fn rail_startup(&self, len: usize) -> f64 {
+        if len >= self.rndv_threshold {
+            self.rail_alpha + self.rndv_extra
+        } else {
+            self.rail_alpha
+        }
+    }
+
+    /// Whether the point-to-point layer stripes a message of `len` bytes.
+    pub fn stripes(&self, len: usize) -> bool {
+        self.rails > 1 && len >= self.stripe_threshold
+    }
+
+    /// Ideal time for a message of `len` bytes over all rails combined —
+    /// the `T_H(M) = α_H + M / (BW_H · H)` of the paper's Table 1.
+    pub fn t_h(&self, len: usize) -> f64 {
+        self.rail_startup(len) + len as f64 / (self.rail_bw * f64::from(self.rails))
+    }
+
+    /// Ideal time of an uncontended CMA transfer — Table 1's
+    /// `T_C(M) = α_C + M / BW_C` with `b = 1`.
+    pub fn t_c(&self, len: usize) -> f64 {
+        self.cma_alpha + len as f64 / self.cma_bw
+    }
+
+    /// Ideal time of an uncontended local memcpy — Table 1's
+    /// `T_L(M) = α_L + M / BW_L`.
+    pub fn t_l(&self, len: usize) -> f64 {
+        self.copy_alpha + len as f64 / self.copy_bw
+    }
+
+    /// Sanity-checks the physical plausibility of the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = [
+            ("rail_bw", self.rail_bw),
+            ("cma_bw", self.cma_bw),
+            ("copy_bw", self.copy_bw),
+            ("mem_bw", self.mem_bw),
+            ("flops_rate", self.flops_rate),
+        ];
+        for (name, v) in pos {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        let weights = [
+            ("cma_mem_weight", self.cma_mem_weight),
+            ("reduce_mem_weight", self.reduce_mem_weight),
+        ];
+        for (name, v) in weights {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        let nonneg = [
+            ("rail_alpha", self.rail_alpha),
+            ("rndv_extra", self.rndv_extra),
+            ("cma_alpha", self.cma_alpha),
+            ("copy_alpha", self.copy_alpha),
+        ];
+        for (name, v) in nonneg {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        if self.rails == 0 {
+            return Err("rails must be at least 1".into());
+        }
+        if self.cores_per_node == 0 {
+            return Err("cores_per_node must be at least 1".into());
+        }
+        if let Some(numa) = &self.numa {
+            numa.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thor_preset_is_valid_and_matches_paper_envelope() {
+        let t = ClusterSpec::thor();
+        t.validate().unwrap();
+        assert_eq!(t.rails, 2);
+        // Inter-node with 2 rails roughly doubles one rail (Fig. 1).
+        assert!((t.rail_bw * 2.0) > 1.9 * t.cma_bw);
+        // Intra-node CMA ≈ one rail (Fig. 1: "approximately equal").
+        assert!((t.cma_bw / t.rail_bw - 1.0).abs() < 0.2);
+        // Striping threshold is the 16 KB saturation point of Section 2.1.
+        assert_eq!(t.stripe_threshold, 16 * 1024);
+    }
+
+    #[test]
+    fn rail_startup_includes_rendezvous_above_threshold() {
+        let t = ClusterSpec::thor();
+        assert!(t.rail_startup(1024) < t.rail_startup(64 * 1024));
+        assert_eq!(t.rail_startup(1024), t.rail_alpha);
+        assert_eq!(
+            t.rail_startup(t.rndv_threshold),
+            t.rail_alpha + t.rndv_extra
+        );
+    }
+
+    #[test]
+    fn striping_requires_multiple_rails_and_large_messages() {
+        let t = ClusterSpec::thor();
+        assert!(!t.stripes(1024));
+        assert!(t.stripes(64 * 1024));
+        let single = ClusterSpec::thor_single_rail();
+        assert!(!single.stripes(64 * 1024));
+    }
+
+    #[test]
+    fn table1_time_helpers_are_affine_in_len() {
+        let t = ClusterSpec::thor();
+        let m = 1 << 20;
+        assert!(t.t_h(2 * m) > t.t_h(m));
+        assert!(t.t_c(2 * m) - t.t_c(m) > 0.9 * (m as f64 / t.cma_bw));
+        assert!(t.t_l(m) < t.t_c(m)); // memcpy beats CMA (no syscall)
+    }
+
+    #[test]
+    fn two_rails_transfer_large_messages_about_twice_as_fast() {
+        let two = ClusterSpec::thor();
+        let one = ClusterSpec::thor_single_rail();
+        let m = 4 << 20;
+        let ratio = one.t_h(m) / two.t_h(m);
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut t = ClusterSpec::thor();
+        t.rail_bw = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = ClusterSpec::thor();
+        t.cma_alpha = -1.0;
+        assert!(t.validate().is_err());
+        let mut t = ClusterSpec::thor();
+        t.rails = 0;
+        assert!(t.validate().is_err());
+        let mut t = ClusterSpec::thor();
+        t.cores_per_node = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rail")]
+    fn zero_rail_constructor_panics() {
+        ClusterSpec::thor_with_rails(0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic Horovod-style training throughput (paper Section 5.6 /
+//! Figure 17): ResNet-50/101/152 gradients allreduced every step.
+//!
+//! ```sh
+//! cargo run --release --example dl_training
+//! ```
+
+use mha::apps::deep_learning::{run_training_step, DlConfig, RESNET101, RESNET152, RESNET50};
+use mha::apps::Contestant;
+use mha::collectives::Library;
+use mha::sched::ProcGrid;
+use mha::simnet::ClusterSpec;
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let grid = ProcGrid::new(8, 32); // 256 workers
+    println!(
+        "{:>12} {:>14} {:>12} {:>10}",
+        "model", "MVAPICH2-X", "MHA", "gain"
+    );
+    for model in [RESNET50, RESNET101, RESNET152] {
+        let cfg = DlConfig {
+            grid,
+            model,
+            batch: 16,
+        };
+        let mva =
+            run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
+        let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
+        println!(
+            "{:>12} {:>11.1}im/s {:>9.1}im/s {:>9.2}%",
+            model.name,
+            mva.images_per_sec,
+            mha.images_per_sec,
+            (mha.images_per_sec / mva.images_per_sec - 1.0) * 100.0
+        );
+    }
+    let cfg = DlConfig {
+        grid,
+        model: RESNET50,
+        batch: 16,
+    };
+    let r = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
+    println!(
+        "\nResNet-50 step breakdown: compute {:.0} us + allreduce {:.0} us = {:.3} s/step",
+        r.compute_us, r.comm_us, r.step_time_s
+    );
+}

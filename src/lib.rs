@@ -1,0 +1,21 @@
+//! # mha — hierarchical multi-HCA aware Allgather, end to end
+//!
+//! Facade crate for the reproduction of *"Designing Hierarchical Multi-HCA
+//! Aware Allgather in MPI"* (Tran et al., ICPP Workshops 2022). It re-exports
+//! the full stack:
+//!
+//! * [`sched`] — the schedule IR collectives compile to,
+//! * [`simnet`] — the discrete-event multi-rail cluster simulator,
+//! * [`exec`] — threaded/single-threaded executors over real buffers,
+//! * [`collectives`] — flat, two-level and MHA Allgather/Allreduce designs,
+//! * [`model`] — the paper's analytic cost models (Eqs. 1–7),
+//! * [`apps`] — OSU-style microbenchmarks, matvec, synthetic DL training.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use mha_apps as apps;
+pub use mha_collectives as collectives;
+pub use mha_exec as exec;
+pub use mha_model as model;
+pub use mha_sched as sched;
+pub use mha_simnet as simnet;
