@@ -110,8 +110,7 @@ mod tests {
     fn mha_increases_sampling_throughput() {
         let spec = ClusterSpec::thor();
         let cfg = BpmfConfig::movielens(ProcGrid::new(8, 32));
-        let mva = run_bpmf_iteration(cfg, Contestant::Library(Library::Mvapich2X), &spec)
-            .unwrap();
+        let mva = run_bpmf_iteration(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
         let mha = run_bpmf_iteration(cfg, Contestant::MhaTuned, &spec).unwrap();
         assert!(
             mha.samples_per_sec > mva.samples_per_sec,

@@ -117,8 +117,7 @@ mod tests {
             model: RESNET50,
             batch: 16,
         };
-        let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
-            .unwrap();
+        let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
         let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
         assert!(
             mha.images_per_sec > mva.images_per_sec,
@@ -144,8 +143,8 @@ mod tests {
                 model,
                 batch: 16,
             };
-            let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
-                .unwrap();
+            let mva =
+                run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
             let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
             assert!(mha.images_per_sec >= mva.images_per_sec);
             assert!(mva.images_per_sec < prev_ips);

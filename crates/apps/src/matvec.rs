@@ -107,7 +107,13 @@ pub fn verify_matvec(cfg: MatvecConfig, built: &Built) -> Result<f64, String> {
 
     // x: deterministic values; padding elements are zero.
     let x: Vec<f64> = (0..cols_padded)
-        .map(|i| if i < cfg.cols { ((i % 17) as f64) - 8.0 } else { 0.0 })
+        .map(|i| {
+            if i < cfg.cols {
+                ((i % 17) as f64) - 8.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     // A[i][j] = small deterministic values.
     let a = |i: usize, j: usize| (((i * 31 + j * 7) % 13) as f64) - 6.0;
@@ -144,12 +150,12 @@ pub fn verify_matvec(cfg: MatvecConfig, built: &Built) -> Result<f64, String> {
 
     // Serial reference.
     let mut max_err = 0.0f64;
-    for i in 0..cfg.rows {
+    for (i, yv) in y.iter().enumerate().take(cfg.rows) {
         let mut acc = 0.0;
         for (j, xv) in x.iter().enumerate().take(cfg.cols) {
             acc += a(i, j) * xv;
         }
-        max_err = max_err.max((acc - y[i]).abs());
+        max_err = max_err.max((acc - yv).abs());
     }
     Ok(max_err)
 }

@@ -229,14 +229,7 @@ mod tests {
     fn allreduce_sweep_pads_indivisible_sizes() {
         let spec = ClusterSpec::thor();
         let grid = ProcGrid::new(2, 3); // 6 ranks: 1000 bytes won't divide
-        let t = allreduce_sweep(
-            "t",
-            grid,
-            &[1000],
-            &[Contestant::MhaTuned],
-            &spec,
-        )
-        .unwrap();
+        let t = allreduce_sweep("t", grid, &[1000], &[Contestant::MhaTuned], &spec).unwrap();
         assert_eq!(t.len(), 1);
     }
 

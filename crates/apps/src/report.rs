@@ -1,6 +1,9 @@
 //! Plain-text table/CSV formatting for the benchmark binaries — mirrors
 //! the OSU micro-benchmark output style the paper's figures are drawn
-//! from.
+//! from — plus the run-summary block every `fig*` binary appends
+//! ([`render_run_summary`]).
+
+use mha_sched::RunSummary;
 
 /// A results table: one row per sweep point, one value column per
 /// contestant.
@@ -112,11 +115,76 @@ impl Table {
     }
 }
 
+/// The resource-group classes a [`RunSummary`] is folded into, in display
+/// order: HCA rails (`tx(…)`/`rx(…)`), CPU copy engines (`cpu(…)`), memory
+/// controllers (`mem(…)`) and the NUMA cross-socket links (`xsocket(…)`).
+type LabelMatch = fn(&str) -> bool;
+const RESOURCE_GROUPS: [(&str, LabelMatch); 4] = [
+    ("rails", |l| l.starts_with("tx(") || l.starts_with("rx(")),
+    ("cpu", |l| l.starts_with("cpu(")),
+    ("memory", |l| l.starts_with("mem(")),
+    ("xsocket", |l| l.starts_with("xsocket(")),
+];
+
+/// Renders a [`RunSummary`] as the utilization/overlap block the `fig*`
+/// binaries print after their tables: per-group resource utilization
+/// (mean and max over the group's resources, ignoring resources that saw
+/// no traffic when computing the max label) and the measured
+/// network–CPU overlap fraction behind the paper's Figure 7 argument.
+pub fn render_run_summary(s: &RunSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## run summary: {} [{}] — {} ops, makespan {:.3} us",
+        s.schedule,
+        s.backend,
+        s.ops,
+        s.makespan * 1e6
+    );
+    let _ = writeln!(
+        out,
+        "   net busy {:.3} us | cpu busy {:.3} us | overlap {:.3} us ({:.1}% of net)",
+        s.net_busy * 1e6,
+        s.cpu_busy * 1e6,
+        s.net_cpu_overlap * 1e6,
+        100.0 * s.overlap_fraction()
+    );
+    for (name, matches) in RESOURCE_GROUPS {
+        let group: Vec<_> = s.resources.iter().filter(|r| matches(&r.label)).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let mean = group.iter().map(|r| r.utilization).sum::<f64>() / group.len() as f64;
+        let busiest = group
+            .iter()
+            .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
+            .expect("group not empty");
+        let _ = writeln!(
+            out,
+            "   {:<7} {:>4} resources | mean util {:>5.1}% | max {:>5.1}% ({})",
+            name,
+            group.len(),
+            100.0 * mean,
+            100.0 * busiest.utilization,
+            busiest.label
+        );
+    }
+    if s.waterfill_recomputes > 0 || s.rate_changes > 0 {
+        let _ = writeln!(
+            out,
+            "   waterfill recomputes {} | flow-rate changes {}",
+            s.waterfill_recomputes, s.rate_changes
+        );
+    }
+    out
+}
+
 /// Formats a byte count the way OSU tables do (`256`, `16K`, `2M`).
 pub fn fmt_bytes(n: usize) -> String {
-    if n >= 1 << 20 && n % (1 << 20) == 0 {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
         format!("{}M", n >> 20)
-    } else if n >= 1 << 10 && n % (1 << 10) == 0 {
+    } else if n >= 1 << 10 && n.is_multiple_of(1 << 10) {
         format!("{}K", n >> 10)
     } else {
         n.to_string()
@@ -128,11 +196,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "Fig X",
-            "size",
-            vec!["HPC-X".into(), "MHA".into()],
-        );
+        let mut t = Table::new("Fig X", "size", vec!["HPC-X".into(), "MHA".into()]);
         t.push("256", vec![10.5, 5.25]);
         t.push("16K", vec![100.0, 42.0]);
         t
@@ -173,5 +237,41 @@ mod tests {
     fn len_and_empty() {
         assert_eq!(sample().len(), 2);
         assert!(!sample().is_empty());
+    }
+
+    #[test]
+    fn run_summary_groups_resources_and_reports_overlap() {
+        use mha_sched::ResourceUtil;
+        let util = |label: &str, utilization: f64| ResourceUtil {
+            label: label.into(),
+            bytes: 0.0,
+            capacity: 1.0,
+            utilization,
+        };
+        let s = RunSummary {
+            backend: "simnet",
+            schedule: "mha-inter".into(),
+            ops: 42,
+            makespan: 1e-3,
+            net_busy: 8e-4,
+            cpu_busy: 5e-4,
+            net_cpu_overlap: 4e-4,
+            resources: vec![
+                util("tx(n0,h0)", 0.2),
+                util("rx(n0,h1)", 0.6),
+                util("cpu(r0)", 0.3),
+                util("mem(n0)", 0.1),
+            ],
+            waterfill_recomputes: 7,
+            rate_changes: 9,
+        };
+        let txt = render_run_summary(&s);
+        assert!(txt.contains("mha-inter"), "{txt}");
+        assert!(txt.contains("50.0% of net"), "{txt}");
+        assert!(txt.contains("rails"), "{txt}");
+        assert!(txt.contains("rx(n0,h1)"), "{txt}"); // busiest rail named
+        assert!(txt.contains("memory"), "{txt}");
+        assert!(!txt.contains("xsocket"), "no xsocket resources: {txt}");
+        assert!(txt.contains("waterfill recomputes 7"), "{txt}");
     }
 }

@@ -43,9 +43,7 @@ fn bench_validation(c: &mut Criterion) {
         .build(ProcGrid::new(4, 8), 4096, &spec)
         .unwrap();
     c.bench_function("check_races/mha_4x8", |b| {
-        b.iter(|| {
-            assert!(mha_sched::check_races(std::hint::black_box(&small.sched)).is_empty())
-        })
+        b.iter(|| assert!(mha_sched::check_races(std::hint::black_box(&small.sched)).is_empty()))
     });
 }
 

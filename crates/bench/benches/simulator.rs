@@ -26,9 +26,11 @@ fn bench_sim(c: &mut Criterion) {
         let built = algo.build(grid, 64 * 1024, &spec).unwrap();
         let events = sim.run(&built.sched).unwrap().events;
         g.throughput(Throughput::Elements(events));
-        g.bench_with_input(BenchmarkId::new(name, format!("{nodes}x{ppn}")), &built, |b, built| {
-            b.iter(|| std::hint::black_box(sim.run(&built.sched).unwrap().makespan))
-        });
+        g.bench_with_input(
+            BenchmarkId::new(name, format!("{nodes}x{ppn}")),
+            &built,
+            |b, built| b.iter(|| std::hint::black_box(sim.run(&built.sched).unwrap().makespan)),
+        );
     }
     g.finish();
 }

@@ -3,9 +3,7 @@
 //! cluster model, across message sizes.
 
 use mha_apps::report::{fmt_bytes, Table};
-use mha_collectives::mha::{
-    build_mha_inter, build_mha_numa3, MhaInterConfig, Numa3Config,
-};
+use mha_collectives::mha::{build_mha_inter, build_mha_numa3, MhaInterConfig, Numa3Config};
 use mha_sched::ProcGrid;
 use mha_simnet::{size_sweep, ClusterSpec, Simulator};
 

@@ -3,9 +3,7 @@
 //! model leaves on the table (the gap that motivates the paper's tuner).
 
 use mha_apps::report::Table;
-use mha_collectives::mha::{
-    build_mha_intra, optimal_offload, tune_offload, Offload,
-};
+use mha_collectives::mha::{build_mha_intra, optimal_offload, tune_offload, Offload};
 use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, Simulator};
 

@@ -24,4 +24,9 @@ fn main() {
         t.push(fmt_bytes(m), vec![intra, inter1, inter2]);
     }
     mha_bench::emit(&t, "fig01_bandwidth");
+    mha_bench::emit_run_summary(
+        &two,
+        &mha_bench::pt2pt_rails_schedule(4 << 20),
+        "fig01_bandwidth",
+    );
 }

@@ -22,4 +22,5 @@ fn main() {
     out.push_str("\nPer-op CSV:\n");
     out.push_str(&trace.to_csv());
     mha_bench::emit_text(&out, "fig02_timeline");
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig02_timeline");
 }

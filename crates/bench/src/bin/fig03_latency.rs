@@ -18,4 +18,9 @@ fn main() {
         t.push(fmt_bytes(m), vec![l1, l2]);
     }
     mha_bench::emit(&t, "fig03_latency");
+    mha_bench::emit_run_summary(
+        &two,
+        &mha_bench::pt2pt_rails_schedule(4 << 20),
+        "fig03_latency",
+    );
 }

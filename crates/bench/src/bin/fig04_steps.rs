@@ -11,7 +11,12 @@ fn dump(title: &str, built: &mha_collectives::Built, out: &mut String) {
     let _ = writeln!(out, "== {title} ({}) ==", built.sched.name());
     for op in built.sched.ops() {
         let what = match &op.kind {
-            OpKind::Transfer { src_rank, dst_rank, channel, .. } => {
+            OpKind::Transfer {
+                src_rank,
+                dst_rank,
+                channel,
+                ..
+            } => {
                 format!("{src_rank} -> {dst_rank} via {channel:?}")
             }
             OpKind::Copy { actor, .. } => format!("self-copy @ {actor}"),
@@ -43,4 +48,5 @@ fn main() {
     dump("Direct Spread (Fig. 4a)", &ds, &mut out);
     dump("MHA-intra (Fig. 4b)", &mha, &mut out);
     mha_bench::emit_text(&out, "fig04_steps");
+    mha_bench::emit_run_summary(&sim, &mha.sched, "fig04_steps");
 }

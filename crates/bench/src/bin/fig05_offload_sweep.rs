@@ -7,7 +7,11 @@ use mha_simnet::ClusterSpec;
 
 fn main() {
     let spec = ClusterSpec::thor();
-    for (l, msg, tag) in [(4u32, 4usize << 20, "L4_4M"), (8, 1 << 20, "L8_1M"), (16, 1 << 20, "L16_1M")] {
+    for (l, msg, tag) in [
+        (4u32, 4usize << 20, "L4_4M"),
+        (8, 1 << 20, "L8_1M"),
+        (16, 1 << 20, "L16_1M"),
+    ] {
         let (best, curve) = tune_offload(&spec, l, msg).unwrap();
         let analytic = mha_collectives::mha::optimal_offload(&spec, l, msg);
         let mut t = Table::new(
@@ -23,4 +27,13 @@ fn main() {
         }
         mha_bench::emit(&t, &format!("fig05_offload_{tag}"));
     }
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::mha::build_mha_intra(
+        mha_sched::ProcGrid::single_node(8),
+        1 << 20,
+        mha_collectives::mha::Offload::Auto,
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig05_offload");
 }

@@ -1,10 +1,14 @@
 //! Figures 6/7: overlap of inter-node transfers with intra-node shm copies
 //! during phases 2/3, Ring vs Recursive Doubling.
+//!
+//! One simulation per config feeds two probe sinks through [`Tee`]: the
+//! timeline ([`TraceBuilder`]) for the phase-filtered interval math, and a
+//! [`SummaryProbe`] whose whole-run overlap fraction is the headline metric.
 
-use mha_apps::report::Table;
+use mha_apps::report::{render_run_summary, Table};
 use mha_collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
-use mha_sched::ProcGrid;
-use mha_simnet::{intersection_length, ClusterSpec, SimConfig, Simulator};
+use mha_sched::{ProcGrid, SummaryProbe, Tee};
+use mha_simnet::{intersection_length, ClusterSpec, Simulator, TraceBuilder};
 
 fn main() {
     let spec = ClusterSpec::thor();
@@ -20,8 +24,10 @@ fn main() {
             "copy_busy_us".into(),
             "overlap_us".into(),
             "overlap_pct_of_net".into(),
+            "whole_run_overlap_pct".into(),
         ],
     );
+    let mut summaries = String::new();
     for (ppn, algo, name) in [
         (4u32, InterAlgo::Ring, "ppn4/Ring"),
         (4, InterAlgo::RecursiveDoubling, "ppn4/RD"),
@@ -35,11 +41,14 @@ fn main() {
             overlap: true,
         };
         let built = build_mha_inter(grid, msg, cfg, &spec).unwrap();
+        let mut tb = TraceBuilder::new();
+        let mut sp = SummaryProbe::new();
         let res = sim
-            .run_with(&built.sched, SimConfig { trace: true })
+            .run_probed(&built.sched, &mut Tee(&mut tb, &mut sp))
             .unwrap();
         let latency_us = res.latency_us();
-        let trace = res.trace.unwrap();
+        let trace = tb.finish(&built.sched);
+        let summary = sp.finish();
         // Phase-2 network transfers carry step tags >= 1000; phase-3
         // copies >= 2000.
         let net = trace.intervals_where(|s, m| {
@@ -61,8 +70,12 @@ fn main() {
                 copy_busy,
                 overlap,
                 100.0 * overlap / net_busy.max(1e-12),
+                100.0 * summary.overlap_fraction(),
             ],
         );
+        summaries.push_str(&format!("[{name}] "));
+        summaries.push_str(&render_run_summary(&summary));
     }
     mha_bench::emit(&t, "fig07_overlap");
+    mha_bench::emit_text(&summaries, "fig07_overlap_summary");
 }

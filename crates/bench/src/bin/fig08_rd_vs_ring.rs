@@ -31,4 +31,11 @@ fn main() {
         }
         mha_bench::emit(&t, &format!("fig08_rd_vs_ring_{nodes}n"));
     }
+    let cfg = MhaInterConfig {
+        inter: InterAlgo::RecursiveDoubling,
+        offload: Offload::Auto,
+        overlap: true,
+    };
+    let built = build_mha_inter(ProcGrid::new(16, 32), 64 * 1024, cfg, &spec).unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig08_rd_vs_ring");
 }

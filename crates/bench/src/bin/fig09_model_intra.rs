@@ -17,7 +17,11 @@ fn main() {
             mean_rel_error(&points) * 100.0
         ),
         "msg_bytes",
-        vec!["actual_us".into(), "predicted_us".into(), "rel_err_pct".into()],
+        vec![
+            "actual_us".into(),
+            "predicted_us".into(),
+            "rel_err_pct".into(),
+        ],
     );
     for p in &points {
         t.push(
@@ -26,4 +30,13 @@ fn main() {
         );
     }
     mha_bench::emit(&t, "fig09_model_intra");
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::mha::build_mha_intra(
+        mha_sched::ProcGrid::single_node(4),
+        4 << 20,
+        mha_collectives::mha::Offload::Auto,
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig09_model_intra");
 }

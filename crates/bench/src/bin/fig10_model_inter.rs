@@ -17,7 +17,11 @@ fn main() {
             mean_rel_error(&points) * 100.0
         ),
         "msg_bytes",
-        vec!["actual_us".into(), "predicted_us".into(), "rel_err_pct".into()],
+        vec![
+            "actual_us".into(),
+            "predicted_us".into(),
+            "rel_err_pct".into(),
+        ],
     );
     for p in &points {
         t.push(
@@ -26,4 +30,13 @@ fn main() {
         );
     }
     mha_bench::emit(&t, "fig10_model_inter");
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::mha::build_mha_inter(
+        mha_sched::ProcGrid::new(8, 32),
+        64 * 1024,
+        Default::default(),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig10_model_inter");
 }

@@ -20,4 +20,13 @@ fn main() {
         .unwrap();
         mha_bench::emit(&t, &format!("fig11_intra_allgather_{ppn}p"));
     }
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::mha::build_mha_intra(
+        ProcGrid::single_node(16),
+        4 << 20,
+        mha_collectives::mha::Offload::Auto,
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig11_intra_allgather");
 }

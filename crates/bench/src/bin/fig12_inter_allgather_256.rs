@@ -26,4 +26,8 @@ fn main() {
     )
     .unwrap();
     mha_bench::emit(&large, "fig12_inter_allgather_256_large");
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built =
+        mha_collectives::mha::build_mha_inter(grid, 64 * 1024, Default::default(), &spec).unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig12_inter_allgather_256");
 }

@@ -35,4 +35,13 @@ fn main() {
         }
         mha_bench::emit(&t, &format!("fig15_allreduce_{nodes}n"));
     }
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::build_ring_allreduce(
+        ProcGrid::new(8, 32),
+        (2 << 20) / 4,
+        mha_collectives::AllgatherPhase::MhaInter(Default::default()),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig15_allreduce");
 }

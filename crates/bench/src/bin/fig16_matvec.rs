@@ -21,7 +21,10 @@ fn sweep(title: &str, cfg_of: impl Fn(ProcGrid) -> MatvecConfig, name: &str, spe
         for c in &contestants {
             row.push(run_matvec(cfg, *c, spec).unwrap().gflops);
         }
-        t.push(format!("{} ({}x{})", grid.nranks(), cfg.rows, cfg.cols), row);
+        t.push(
+            format!("{} ({}x{})", grid.nranks(), cfg.rows, cfg.cols),
+            row,
+        );
     }
     mha_bench::emit(&t, name);
 }
@@ -40,4 +43,12 @@ fn main() {
         "fig16_matvec_weak",
         &spec,
     );
+    // Summarize the collective the kernel is bound by: the per-iteration
+    // result-vector Allgather on the 256-process strong-scaling point.
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let grid = ProcGrid::new(8, 32);
+    let msg = 32768 * 8 / grid.nranks() as usize;
+    let built =
+        mha_collectives::mha::build_mha_inter(grid, msg, Default::default(), &spec).unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig16_matvec");
 }

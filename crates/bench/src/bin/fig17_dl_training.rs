@@ -28,8 +28,8 @@ fn main() {
                 model,
                 batch: 16,
             };
-            let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
-                .unwrap();
+            let mva =
+                run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
             let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
             t.push(
                 grid.nranks().to_string(),
@@ -43,4 +43,14 @@ fn main() {
         let tag = model.name.to_lowercase().replace('-', "");
         mha_bench::emit(&t, &format!("fig17_dl_{tag}"));
     }
+    // Summarize a representative gradient-bucket Allreduce (2 MB, 256 ranks).
+    let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();
+    let built = mha_collectives::build_ring_allreduce(
+        ProcGrid::new(8, 32),
+        (2 << 20) / 4,
+        mha_collectives::AllgatherPhase::MhaInter(Default::default()),
+        &spec,
+    )
+    .unwrap();
+    mha_bench::emit_run_summary(&sim, &built.sched, "fig17_dl");
 }

@@ -1,0 +1,65 @@
+//! Prints the exact (bit-level) simulated makespans of the golden
+//! workloads guarded by `tests/golden_latencies.rs`. Re-run this after an
+//! *intentional* model change to regenerate the constants; an unintentional
+//! difference is a regression in the scheduler → simulator pipeline.
+
+use mha_collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use mha_collectives::AllgatherAlgo;
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, Simulator};
+
+fn main() {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    // Fig. 2 workload: flat Ring Allgather, 2 nodes x 2 PPN, 1 MB.
+    let built = AllgatherAlgo::Ring
+        .build(ProcGrid::new(2, 2), 1 << 20, &spec)
+        .unwrap();
+    rows.push((
+        "fig02/ring_2x2_1M".into(),
+        sim.run(&built.sched).unwrap().makespan,
+    ));
+
+    // Fig. 8 workload: MHA-inter with Ring vs RD phase 2, 16 nodes x 32 PPN.
+    for (name, algo) in [
+        ("ring", InterAlgo::Ring),
+        ("rd", InterAlgo::RecursiveDoubling),
+    ] {
+        for msg in [4096usize, 64 * 1024] {
+            let cfg = MhaInterConfig {
+                inter: algo,
+                offload: Offload::Auto,
+                overlap: true,
+            };
+            let built = build_mha_inter(ProcGrid::new(16, 32), msg, cfg, &spec).unwrap();
+            rows.push((
+                format!("fig08/{name}_16x32_{msg}"),
+                sim.run(&built.sched).unwrap().makespan,
+            ));
+        }
+    }
+
+    // Fig. 12 workload: 8 nodes x 32 PPN contestants at 4 KB.
+    for (name, algo) in [
+        ("ring", AllgatherAlgo::Ring),
+        ("bruck", AllgatherAlgo::Bruck),
+        ("mha", AllgatherAlgo::MhaInter(MhaInterConfig::default())),
+    ] {
+        let built = algo.build(ProcGrid::new(8, 32), 4096, &spec).unwrap();
+        rows.push((
+            format!("fig12/{name}_8x32_4096"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    for (name, makespan) in rows {
+        println!(
+            "(\"{name}\", f64::from_bits(0x{:016x})), // {:.6} us",
+            makespan.to_bits(),
+            makespan * 1e6
+        );
+    }
+}

@@ -8,7 +8,9 @@
 
 use std::path::PathBuf;
 
-use mha_apps::report::Table;
+use mha_apps::report::{render_run_summary, Table};
+use mha_sched::{FrozenSchedule, SummaryProbe};
+use mha_simnet::Simulator;
 
 /// Directory the `fig*` binaries write CSVs into (`results/` at the
 /// workspace root, honoring `MHA_RESULTS_DIR`).
@@ -44,6 +46,41 @@ pub fn emit_text(content: &str, name: &str) {
             println!("[saved {}]", path.display());
         }
     }
+}
+
+/// Re-simulates `sched` with a [`SummaryProbe`] attached and prints the
+/// per-rail/CPU/memory utilization + overlap block, saving it as
+/// `results/<name>_summary.txt`. The `fig*` binaries call this once on a
+/// representative workload after their sweep tables.
+pub fn emit_run_summary(sim: &Simulator, sched: &FrozenSchedule, name: &str) {
+    let mut probe = SummaryProbe::new();
+    match sim.run_probed(sched, &mut probe) {
+        Ok(_) => emit_text(
+            &render_run_summary(&probe.finish()),
+            &format!("{name}_summary"),
+        ),
+        Err(e) => eprintln!("warning: summary run for {name} failed: {e}"),
+    }
+}
+
+/// A single inter-node `msg`-byte transfer striped over all rails — the
+/// representative workload the microbenchmark figures (1/3) summarize.
+pub fn pt2pt_rails_schedule(msg: usize) -> FrozenSchedule {
+    use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+    let mut b = ScheduleBuilder::new(ProcGrid::new(2, 1), "pt2pt-rails");
+    let s = b.private_buf(RankId(0), msg, "s");
+    let d = b.private_buf(RankId(1), msg, "d");
+    b.transfer(
+        RankId(0),
+        RankId(1),
+        Loc::new(s, 0),
+        Loc::new(d, 0),
+        msg,
+        Channel::AllRails,
+        &[],
+        0,
+    );
+    b.finish().freeze()
 }
 
 /// The paper's "medium" message sweep for Figures 12–14 (256 B – 8 KB).

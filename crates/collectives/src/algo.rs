@@ -4,7 +4,7 @@
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
-use crate::ctx::{Built, BuildError};
+use crate::ctx::{BuildError, Built};
 use crate::flat;
 use crate::mha::{self, MhaInterConfig, Offload};
 use crate::twolevel;
@@ -72,9 +72,7 @@ impl AllgatherAlgo {
             AllgatherAlgo::MultiLeader { groups } => {
                 twolevel::build_multi_leader(grid, msg, groups)
             }
-            AllgatherAlgo::MhaIntra { offload } => {
-                mha::build_mha_intra(grid, msg, offload, spec)
-            }
+            AllgatherAlgo::MhaIntra { offload } => mha::build_mha_intra(grid, msg, offload, spec),
             AllgatherAlgo::MhaInter(cfg) => mha::build_mha_inter(grid, msg, cfg, spec),
         }
     }

@@ -9,7 +9,7 @@
 use mha_sched::{DType, Loc, ProcGrid, RankId, RedOp};
 use mha_simnet::ClusterSpec;
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 use crate::flat::emit_ring;
 use crate::mha::{emit_mha_inter, MhaInterConfig};
 
@@ -39,7 +39,7 @@ pub fn build_ring_allreduce(
     spec: &ClusterSpec,
 ) -> Result<Built, BuildError> {
     let r = grid.nranks();
-    if elems % r as usize != 0 {
+    if !elems.is_multiple_of(r as usize) {
         return Err(BuildError::IndivisibleVector { elems, ranks: r });
     }
     let chunk_elems = elems / r as usize;
@@ -190,13 +190,8 @@ mod tests {
 
     #[test]
     fn indivisible_vector_rejected() {
-        let err = build_ring_allreduce(
-            ProcGrid::new(2, 2),
-            10,
-            AllgatherPhase::FlatRing,
-            &thor(),
-        )
-        .unwrap_err();
+        let err = build_ring_allreduce(ProcGrid::new(2, 2), 10, AllgatherPhase::FlatRing, &thor())
+            .unwrap_err();
         assert_eq!(
             err,
             BuildError::IndivisibleVector {
@@ -228,13 +223,8 @@ mod tests {
 
     #[test]
     fn single_rank_allreduce_is_identity_copy() {
-        let built = build_ring_allreduce(
-            ProcGrid::new(1, 1),
-            8,
-            AllgatherPhase::FlatRing,
-            &thor(),
-        )
-        .unwrap();
+        let built = build_ring_allreduce(ProcGrid::new(1, 1), 8, AllgatherPhase::FlatRing, &thor())
+            .unwrap();
         assert_allreduce_correct(&built, 8);
     }
 }

@@ -25,7 +25,7 @@ use crate::ctx::BuildError;
 #[derive(Debug, Clone)]
 pub struct AlltoallBuilt {
     /// The schedule.
-    pub sched: mha_sched::Schedule,
+    pub sched: mha_sched::FrozenSchedule,
     /// Per-rank send buffer.
     pub send: Vec<BufId>,
     /// Per-rank receive buffer.
@@ -89,7 +89,7 @@ pub fn build_direct_alltoall(grid: ProcGrid, msg: usize) -> AlltoallBuilt {
         }
     }
     AlltoallBuilt {
-        sched: b.finish(),
+        sched: b.finish().freeze(),
         send,
         recv,
         msg,
@@ -159,10 +159,7 @@ pub fn build_mha_alltoall(
     for round in 1..n {
         for dst_n in 0..n {
             let src_n = (dst_n + n - round) % n;
-            let (lsrc, ldst) = (
-                grid.leader_of(NodeId(src_n)),
-                grid.leader_of(NodeId(dst_n)),
-            );
+            let (lsrc, ldst) = (grid.leader_of(NodeId(src_n)), grid.leader_of(NodeId(dst_n)));
             let mut deps: Vec<OpId> = staged[src_n as usize].clone();
             deps.extend(net_cursor[dst_n as usize]);
             let t = b.transfer(
@@ -199,11 +196,7 @@ pub fn build_mha_alltoall(
         }
         for (idx, &(src_n, gate)) in arrivals[nd].iter().enumerate() {
             for (d_l, me) in grid.ranks_of(node).enumerate() {
-                let deps: Vec<OpId> = cursor[me.index()]
-                    .iter()
-                    .copied()
-                    .chain([gate])
-                    .collect();
+                let deps: Vec<OpId> = cursor[me.index()].iter().copied().chain([gate]).collect();
                 let op = b.copy(
                     me,
                     Loc::new(inn[nd], src_n as usize * chunk + d_l * l * msg),
@@ -217,7 +210,7 @@ pub fn build_mha_alltoall(
         }
     }
     Ok(AlltoallBuilt {
-        sched: b.finish(),
+        sched: b.finish().freeze(),
         send,
         recv,
         msg,
@@ -250,8 +243,7 @@ mod tests {
     fn mha_alltoall_is_correct() {
         for (nodes, ppn) in [(1u32, 4u32), (2, 2), (3, 2), (2, 4), (4, 3)] {
             let built =
-                build_mha_alltoall(ProcGrid::new(nodes, ppn), 12, &ClusterSpec::thor())
-                    .unwrap();
+                build_mha_alltoall(ProcGrid::new(nodes, ppn), 12, &ClusterSpec::thor()).unwrap();
             assert_a2a_correct(&built);
         }
     }

@@ -23,7 +23,7 @@ use mha_simnet::ClusterSpec;
 
 use crate::algo::AllgatherAlgo;
 use crate::allreduce::{build_ring_allreduce, AllgatherPhase};
-use crate::ctx::{Built, BuildError};
+use crate::ctx::{BuildError, Built};
 use crate::mha::Offload;
 
 /// An MPI library whose Allgather behaviour we emulate.
@@ -65,7 +65,7 @@ impl Library {
                     } else {
                         AllgatherAlgo::Bruck
                     }
-                } else if grid.nodes() > 1 && grid.ppn() % 2 == 0 {
+                } else if grid.nodes() > 1 && grid.ppn().is_multiple_of(2) {
                     AllgatherAlgo::MultiLeader { groups: 2 }
                 } else if grid.nodes() > 1 {
                     AllgatherAlgo::MultiLeader { groups: 1 }

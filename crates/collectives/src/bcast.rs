@@ -21,7 +21,7 @@ use crate::ctx::BuildError;
 #[derive(Debug, Clone)]
 pub struct BcastBuilt {
     /// The schedule.
-    pub sched: mha_sched::Schedule,
+    pub sched: mha_sched::FrozenSchedule,
     /// Per-rank broadcast buffer.
     pub bufs: Vec<BufId>,
     /// Broadcasting root.
@@ -77,7 +77,7 @@ pub fn build_binomial_bcast(grid: ProcGrid, msg: usize, root: RankId) -> BcastBu
         step += 1;
     }
     BcastBuilt {
-        sched: b.finish(),
+        sched: b.finish().freeze(),
         bufs,
         root,
         msg,
@@ -209,7 +209,7 @@ pub fn build_mha_bcast(
         }
     }
     Ok(BcastBuilt {
-        sched: b.finish(),
+        sched: b.finish().freeze(),
         bufs,
         root,
         msg,
@@ -254,9 +254,8 @@ mod tests {
         for (nodes, ppn) in [(1u32, 4u32), (2, 3), (3, 2), (4, 4)] {
             let grid = ProcGrid::new(nodes, ppn);
             for root in [0, grid.nranks() - 1] {
-                let built =
-                    build_mha_bcast(grid, 40_000, RankId(root), 8192, &ClusterSpec::thor())
-                        .unwrap();
+                let built = build_mha_bcast(grid, 40_000, RankId(root), 8192, &ClusterSpec::thor())
+                    .unwrap();
                 assert_bcast_correct(&built);
             }
         }

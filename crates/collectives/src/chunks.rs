@@ -23,7 +23,12 @@ pub fn chunk_len(total: usize, parts: usize, i: usize) -> usize {
 /// Aligned variant: bounds in *elements* scaled by `elem` bytes, keeping
 /// every chunk boundary on an element boundary (needed when chunks feed
 /// typed reductions).
-pub fn chunk_bounds_aligned(total_elems: usize, parts: usize, i: usize, elem: usize) -> (usize, usize) {
+pub fn chunk_bounds_aligned(
+    total_elems: usize,
+    parts: usize,
+    i: usize,
+    elem: usize,
+) -> (usize, usize) {
     let (s, e) = chunk_bounds(total_elems, parts, i);
     (s * elem, e * elem)
 }

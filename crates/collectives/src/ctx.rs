@@ -5,13 +5,15 @@
 //! `nranks * msg` bytes in its receive buffer — block `k` (at offset
 //! `k * msg`) being rank `k`'s contribution (MPI_Allgather semantics).
 
-use mha_sched::{BufId, Channel, Loc, OpId, ProcGrid, RankCursors, RankId, Schedule, ScheduleBuilder};
+use mha_sched::{
+    BufId, Channel, FrozenSchedule, Loc, OpId, ProcGrid, RankCursors, RankId, ScheduleBuilder,
+};
 
 /// A finished collective schedule plus the handles verification needs.
 #[derive(Debug, Clone)]
 pub struct Built {
     /// The schedule itself.
-    pub sched: Schedule,
+    pub sched: FrozenSchedule,
     /// Per-rank send buffer (length = per-rank contribution).
     pub send: Vec<BufId>,
     /// Per-rank receive buffer (the collective's output).
@@ -143,8 +145,15 @@ impl Ctx {
     pub fn self_copy(&mut self, rank: RankId, step: u32) -> OpId {
         let deps = self.cur.deps_of(rank);
         let op = if self.contrib_in_recv {
-            self.b
-                .push(mha_sched::OpKind::Compute { actor: rank, flops: 0 }, &deps, step, "sync")
+            self.b.push(
+                mha_sched::OpKind::Compute {
+                    actor: rank,
+                    flops: 0,
+                },
+                &deps,
+                step,
+                "sync",
+            )
         } else {
             let src = self.send_loc(rank);
             let dst = self.recv_block(rank, rank.0);
@@ -156,13 +165,16 @@ impl Ctx {
 
     /// Emits self-copies for every rank.
     pub fn self_copies_all(&mut self, step: u32) -> Vec<OpId> {
-        self.grid().ranks().map(|r| self.self_copy(r, step)).collect()
+        self.grid()
+            .ranks()
+            .map(|r| self.self_copy(r, step))
+            .collect()
     }
 
     /// Finishes construction.
     pub fn finish(self) -> Built {
         Built {
-            sched: self.b.finish(),
+            sched: self.b.finish().freeze(),
             send: self.send,
             recv: self.recv,
             msg: self.msg,
@@ -198,7 +210,10 @@ impl std::fmt::Display for BuildError {
                 write!(f, "{what} must be a power of two, got {got}")
             }
             BuildError::IndivisibleVector { elems, ranks } => {
-                write!(f, "vector of {elems} elements not divisible by {ranks} ranks")
+                write!(
+                    f,
+                    "vector of {elems} elements not divisible by {ranks} ranks"
+                )
             }
             BuildError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
         }

@@ -108,7 +108,16 @@ mod tests {
 
     #[test]
     fn bruck_is_correct_for_any_rank_count() {
-        for (nodes, ppn) in [(1, 1), (1, 2), (1, 3), (1, 5), (1, 8), (2, 3), (3, 2), (2, 8)] {
+        for (nodes, ppn) in [
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (1, 5),
+            (1, 8),
+            (2, 3),
+            (3, 2),
+            (2, 8),
+        ] {
             let built = build_bruck(ProcGrid::new(nodes, ppn), 20);
             assert_allgather_correct(&built);
         }

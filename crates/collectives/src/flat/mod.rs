@@ -27,8 +27,14 @@ pub(crate) mod testutil {
         mha_sched::validate(&built.sched, Some(2)).unwrap();
         let races = mha_sched::check_races(&built.sched);
         assert!(races.is_empty(), "races: {races:?}");
-        verify_allgather(&built.sched, &built.send, &built.recv, built.msg, Mode::Single)
-            .unwrap();
+        verify_allgather(
+            &built.sched,
+            &built.send,
+            &built.recv,
+            built.msg,
+            Mode::Single,
+        )
+        .unwrap();
         verify_allgather(
             &built.sched,
             &built.send,

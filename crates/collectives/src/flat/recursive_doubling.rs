@@ -8,7 +8,7 @@
 
 use mha_sched::{ProcGrid, RankId};
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 
 /// Builds a flat Recursive-Doubling Allgather.
 ///

@@ -80,7 +80,7 @@ mod tests {
         let built = build_ring(ProcGrid::new(2, 3), 8);
         let stats = built.sched.stats();
         assert_eq!(stats.steps, 6); // step 0 self-copy + 5 transfer steps
-        // 6 ranks × 5 steps transfers + 6 self copies.
+                                    // 6 ranks × 5 steps transfers + 6 self copies.
         assert_eq!(stats.ops, 6 * 5 + 6);
     }
 
@@ -103,8 +103,14 @@ mod tests {
 
     #[test]
     fn ring_critical_path_scales_with_ranks() {
-        let small = build_ring(ProcGrid::new(1, 4), 8).sched.stats().critical_path;
-        let large = build_ring(ProcGrid::new(1, 8), 8).sched.stats().critical_path;
+        let small = build_ring(ProcGrid::new(1, 4), 8)
+            .sched
+            .stats()
+            .critical_path;
+        let large = build_ring(ProcGrid::new(1, 8), 8)
+            .sched
+            .stats()
+            .critical_path;
         assert!(large > small);
     }
 }

@@ -21,7 +21,7 @@
 use mha_sched::{BufId, Channel, Loc, OpId, ProcGrid};
 use mha_simnet::ClusterSpec;
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 use crate::mha::intra::intra_into;
 use crate::mha::offload::{resolve_offload, Offload};
 
@@ -230,9 +230,7 @@ pub(crate) fn emit_mha_inter(
             let src = chunk_loc(ctx.recv[lead.index()], arr.start_block);
             let dst = chunk_loc(shm, arr.start_block);
             let deps = ctx.cur.deps_with(lead, &[gate]);
-            let cin = ctx
-                .b
-                .copy(lead, src, dst, len, &deps, 2000 + idx as u32);
+            let cin = ctx.b.copy(lead, src, dst, len, &deps, 2000 + idx as u32);
             ctx.cur.advance(lead, cin);
             for lr in 1..l {
                 let m = grid.rank_on(node, lr);
@@ -323,8 +321,7 @@ mod tests {
     #[test]
     fn single_node_degenerates_to_mha_intra() {
         let built =
-            build_mha_inter(ProcGrid::new(1, 4), 16, cfg(InterAlgo::Ring, true), &thor())
-                .unwrap();
+            build_mha_inter(ProcGrid::new(1, 4), 16, cfg(InterAlgo::Ring, true), &thor()).unwrap();
         assert_allgather_correct(&built);
         assert_eq!(built.sched.stats().steps, 4); // intra steps only
     }
@@ -353,8 +350,7 @@ mod tests {
         let msg = 128 * 1024;
         let ring = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, true), &thor()).unwrap();
         let rd =
-            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor())
-                .unwrap();
+            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor()).unwrap();
         let t_ring = sim.run(&ring.sched).unwrap().latency_us();
         let t_rd = sim.run(&rd.sched).unwrap().latency_us();
         assert!(t_ring < t_rd, "ring {t_ring} vs rd {t_rd}");
@@ -368,8 +364,7 @@ mod tests {
         let msg = 16;
         let ring = build_mha_inter(grid, msg, cfg(InterAlgo::Ring, true), &thor()).unwrap();
         let rd =
-            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor())
-                .unwrap();
+            build_mha_inter(grid, msg, cfg(InterAlgo::RecursiveDoubling, true), &thor()).unwrap();
         let t_ring = sim.run(&ring.sched).unwrap().latency_us();
         let t_rd = sim.run(&rd.sched).unwrap().latency_us();
         assert!(t_rd < t_ring, "rd {t_rd} vs ring {t_ring}");

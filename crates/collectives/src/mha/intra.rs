@@ -12,7 +12,7 @@
 use mha_sched::{Channel, NodeId, OpId, ProcGrid};
 use mha_simnet::ClusterSpec;
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 use crate::mha::offload::{resolve_offload, Offload};
 
 /// Emits the MHA-intra exchange for the ranks of `node` into the global
@@ -104,8 +104,7 @@ mod tests {
     fn mha_intra_is_correct_for_all_policies() {
         for l in [1u32, 2, 4, 7, 8] {
             for policy in [Offload::None, Offload::Fixed(2), Offload::Auto] {
-                let built =
-                    build_mha_intra(ProcGrid::single_node(l), 32, policy, &thor()).unwrap();
+                let built = build_mha_intra(ProcGrid::single_node(l), 32, policy, &thor()).unwrap();
                 assert_allgather_correct(&built);
             }
         }
@@ -113,16 +112,19 @@ mod tests {
 
     #[test]
     fn multi_node_grid_rejected() {
-        let err =
-            build_mha_intra(ProcGrid::new(2, 2), 8, Offload::Auto, &thor()).unwrap_err();
+        let err = build_mha_intra(ProcGrid::new(2, 2), 8, Offload::Auto, &thor()).unwrap_err();
         assert!(matches!(err, BuildError::BadParameter(_)));
     }
 
     #[test]
     fn offloaded_transfers_have_no_dependencies() {
-        let built =
-            build_mha_intra(ProcGrid::single_node(4), 1 << 20, Offload::Fixed(2), &thor())
-                .unwrap();
+        let built = build_mha_intra(
+            ProcGrid::single_node(4),
+            1 << 20,
+            Offload::Fixed(2),
+            &thor(),
+        )
+        .unwrap();
         for op in built.sched.ops() {
             if let OpKind::Transfer {
                 channel: Channel::AllRails,
@@ -186,8 +188,7 @@ mod tests {
 
     #[test]
     fn single_rank_is_self_copy_only() {
-        let built =
-            build_mha_intra(ProcGrid::single_node(1), 16, Offload::Auto, &thor()).unwrap();
+        let built = build_mha_intra(ProcGrid::single_node(1), 16, Offload::Auto, &thor()).unwrap();
         assert_eq!(built.sched.ops().len(), 1);
     }
 }

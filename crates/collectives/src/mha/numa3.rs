@@ -23,7 +23,7 @@
 use mha_sched::{Channel, Loc, NodeId, OpId, ProcGrid, RankId};
 use mha_simnet::ClusterSpec;
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 
 /// Configuration of the 3-level design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,7 @@ pub fn build_mha_numa3(
     let n = grid.nodes();
     let l = grid.ppn();
     let s = numa.sockets;
-    if l % s != 0 {
+    if !l.is_multiple_of(s) {
         return Err(BuildError::BadParameter(format!(
             "{s} sockets do not divide {l} processes per node"
         )));
@@ -339,12 +339,7 @@ mod tests {
             Err(BuildError::BadParameter(_))
         ));
         assert!(matches!(
-            build_mha_numa3(
-                ProcGrid::new(2, 5),
-                8,
-                Numa3Config::default(),
-                &numa_spec()
-            ),
+            build_mha_numa3(ProcGrid::new(2, 5), 8, Numa3Config::default(), &numa_spec()),
             Err(BuildError::BadParameter(_))
         ));
     }
@@ -359,8 +354,7 @@ mod tests {
         let grid = ProcGrid::new(2, 16);
         let msg = 512 * 1024;
         let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
-        let aware =
-            build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
+        let aware = build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
         let t_blind = sim.run(&blind.sched).unwrap().latency_us();
         let t_aware = sim.run(&aware.sched).unwrap().latency_us();
         assert!(

@@ -108,8 +108,7 @@ mod tests {
         // grows, because the HCAs serve everyone.
         let spec = ClusterSpec::thor();
         let msg = 4 << 20;
-        let frac =
-            |l: u32| f64::from(optimal_offload(&spec, l, msg)) / f64::from(l - 1);
+        let frac = |l: u32| f64::from(optimal_offload(&spec, l, msg)) / f64::from(l - 1);
         assert!(frac(2) >= frac(4));
         assert!(frac(4) >= frac(8));
         assert!(frac(8) >= frac(16));
@@ -139,7 +138,10 @@ mod tests {
         let all_offload = curve[3].latency_us;
         let best_lat = curve[best as usize].latency_us;
         assert!(best_lat < no_offload, "offload should help: {curve:?}");
-        assert!(best_lat <= all_offload, "full offload is not optimal: {curve:?}");
+        assert!(
+            best_lat <= all_offload,
+            "full offload is not optimal: {curve:?}"
+        );
         assert!(best >= 1);
     }
 

@@ -10,7 +10,7 @@
 use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, SimError, Simulator};
 
-use crate::ctx::{Built, BuildError};
+use crate::ctx::{BuildError, Built};
 use crate::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
 
 /// The outcome of one Ring-vs-RD tuning decision.
@@ -135,8 +135,7 @@ mod tests {
     #[test]
     fn non_power_of_two_nodes_forces_ring() {
         let spec = ClusterSpec::thor();
-        let choice =
-            select_inter_algo(ProcGrid::new(3, 4), 1024, Offload::Auto, &spec).unwrap();
+        let choice = select_inter_algo(ProcGrid::new(3, 4), 1024, Offload::Auto, &spec).unwrap();
         assert_eq!(choice.algo, InterAlgo::Ring);
         assert!(choice.rd_us.is_none());
     }

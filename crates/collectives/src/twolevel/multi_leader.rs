@@ -12,7 +12,7 @@
 
 use mha_sched::{Loc, OpId, ProcGrid, RankId};
 
-use crate::ctx::{Built, BuildError, Ctx};
+use crate::ctx::{BuildError, Built, Ctx};
 
 /// Builds the multi-leader design with `groups` leader groups per node.
 ///
@@ -23,7 +23,7 @@ use crate::ctx::{Built, BuildError, Ctx};
 pub fn build_multi_leader(grid: ProcGrid, msg: usize, groups: u32) -> Result<Built, BuildError> {
     let n = grid.nodes();
     let l = grid.ppn();
-    if groups == 0 || l % groups != 0 {
+    if groups == 0 || !l.is_multiple_of(groups) {
         return Err(BuildError::BadParameter(format!(
             "{groups} groups do not divide {l} processes per node"
         )));
@@ -190,13 +190,9 @@ mod tests {
         let grid = ProcGrid::new(8, 8);
         let msg = 128 * 1024;
         let ml = build_multi_leader(grid, msg, 2).unwrap();
-        let mha = crate::mha::build_mha_inter(
-            grid,
-            msg,
-            crate::mha::MhaInterConfig::default(),
-            &spec,
-        )
-        .unwrap();
+        let mha =
+            crate::mha::build_mha_inter(grid, msg, crate::mha::MhaInterConfig::default(), &spec)
+                .unwrap();
         let t_ml = sim.run(&ml.sched).unwrap().latency_us();
         let t_mha = sim.run(&mha.sched).unwrap().latency_us();
         assert!(

@@ -1,24 +1,28 @@
 //! Schedule executors over real byte buffers.
 //!
-//! Two interpreters with identical semantics:
+//! Two interpreters of the frozen IR with identical semantics:
 //!
-//! * [`run_single`] — deterministic, sequential, in creation (= topological)
+//! * [`run_single`] — deterministic, sequential, in the frozen topological
 //!   order. The reference implementation.
-//! * [`run_threaded`] — a dependency-driven worker pool: ops become ready
-//!   when their last dependency retires; any worker may claim any ready op.
-//!   For schedules that pass `mha_sched::check_races` the result equals the
-//!   sequential one regardless of interleaving — which the test suite
-//!   exercises aggressively.
+//! * [`run_threaded`] — a dependency-driven worker pool: readiness comes
+//!   from the shared [`mha_sched::AtomicReadySet`] driver (the same
+//!   indegree-counter runtime the simulator uses); any worker may claim any
+//!   ready op. For schedules that pass `mha_sched::check_races` the result
+//!   equals the sequential one regardless of interleaving — which the test
+//!   suite exercises aggressively.
 //!
 //! Neither executor models *time*; that is `mha-simnet`'s job. These exist
 //! to prove every algorithm's data movement is correct (offsets, chunking,
-//! reduction arithmetic, shm hand-offs).
+//! reduction arithmetic, shm hand-offs). The `*_probed` variants narrate
+//! wall-clock op spans through a [`Probe`], the same observability seam the
+//! simulator emits, so one sink works against both backends.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crossbeam::channel;
 
-use mha_sched::{DType, OpKind, RedOp, Schedule};
+use mha_sched::{AtomicReadySet, DType, FrozenSchedule, OpKind, Probe, RedOp};
 
 use crate::memory::BufferStore;
 
@@ -107,57 +111,123 @@ fn execute_op(kind: &OpKind, store: &BufferStore) {
     }
 }
 
-/// Executes `sch` sequentially in creation order.
-pub fn run_single(sch: &Schedule, store: &BufferStore) -> Result<(), ExecError> {
+/// Executes `sch` sequentially in the frozen topological order.
+pub fn run_single(sch: &FrozenSchedule, store: &BufferStore) -> Result<(), ExecError> {
     mha_sched::validate(sch, None)?;
-    for op in sch.ops() {
-        execute_op(&op.kind, store);
+    let ops = sch.ops();
+    for &i in sch.topo_order() {
+        execute_op(&ops[i as usize].kind, store);
     }
+    Ok(())
+}
+
+/// [`run_single`] narrated through `probe`: wall-clock op spans (seconds
+/// from run start) plus begin/end envelope, `backend = "exec-single"`.
+pub fn run_single_probed(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    probe: &mut dyn Probe,
+) -> Result<(), ExecError> {
+    mha_sched::validate(sch, None)?;
+    probe.begin_run(sch, "exec-single");
+    let t0 = Instant::now();
+    let ops = sch.ops();
+    for &i in sch.topo_order() {
+        let t = t0.elapsed().as_secs_f64();
+        probe.op_ready(i, t);
+        probe.op_start(i, t);
+        execute_op(&ops[i as usize].kind, store);
+        probe.op_end(i, t0.elapsed().as_secs_f64());
+    }
+    probe.end_run(t0.elapsed().as_secs_f64());
     Ok(())
 }
 
 /// Executes `sch` on `threads` worker threads, honoring only the DAG's
 /// dependency edges (any topological interleaving may occur).
-pub fn run_threaded(sch: &Schedule, store: &BufferStore, threads: usize) -> Result<(), ExecError> {
+pub fn run_threaded(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+) -> Result<(), ExecError> {
+    run_threaded_inner(sch, store, threads, None)
+}
+
+/// [`run_threaded`] narrated through `probe` (`backend = "exec-threaded"`).
+///
+/// Workers record wall-clock per-op timestamps while running; the event
+/// stream is replayed into `probe` in time order after the pool joins, so
+/// the sink needs no synchronization.
+pub fn run_threaded_probed(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+    probe: &mut dyn Probe,
+) -> Result<(), ExecError> {
+    run_threaded_inner(sch, store, threads, Some(probe))
+}
+
+fn run_threaded_inner(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+    mut probe: Option<&mut dyn Probe>,
+) -> Result<(), ExecError> {
     assert!(threads > 0, "need at least one worker");
     mha_sched::validate(sch, None)?;
-    let n = sch.ops().len();
+    let n = sch.n_ops();
+    if let Some(p) = probe.as_deref_mut() {
+        p.begin_run(sch, "exec-threaded");
+    }
     if n == 0 {
+        if let Some(p) = probe {
+            p.end_run(0.0);
+        }
         return Ok(());
     }
-    let succ = sch.successors();
-    let indeg: Vec<AtomicU32> = sch
-        .indegrees()
-        .into_iter()
-        .map(AtomicU32::new)
-        .collect();
+    let ready = AtomicReadySet::new(sch);
     let done = AtomicUsize::new(0);
     let (tx, rx) = channel::unbounded::<usize>();
-    for (i, op) in sch.ops().iter().enumerate() {
-        if op.deps.is_empty() {
-            tx.send(i).expect("queue open");
+    for &i in sch.roots() {
+        if let Some(p) = probe.as_deref_mut() {
+            p.op_ready(i, 0.0);
         }
+        tx.send(i as usize).expect("queue open");
     }
+
+    // Timestamps (nanos + 1; 0 = never ran) are only recorded when a probe
+    // is attached, so the unprobed path pays no clock reads.
+    let timing = probe.is_some();
+    let stamps: Vec<(AtomicU64, AtomicU64)> = if timing {
+        (0..n)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let t0 = Instant::now();
 
     let panicked = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let rx = rx.clone();
             let tx = tx.clone();
-            let succ = &succ;
-            let indeg = &indeg;
-            let done = &done;
+            let (ready, done, stamps) = (&ready, &done, &stamps);
             handles.push(scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
                     if i == usize::MAX {
                         break;
                     }
-                    execute_op(&sch.ops()[i].kind, store);
-                    for &s in &succ[i] {
-                        if indeg[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            tx.send(s.index()).expect("queue open");
-                        }
+                    if timing {
+                        stamps[i].0.store(nanos_since(t0), Ordering::Relaxed);
                     }
+                    execute_op(&sch.ops()[i].kind, store);
+                    if timing {
+                        stamps[i].1.store(nanos_since(t0), Ordering::Relaxed);
+                    }
+                    ready.complete(sch, i as u32, |s| {
+                        tx.send(s as usize).expect("queue open");
+                    });
                     if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
                         // All done: release every worker.
                         for _ in 0..threads {
@@ -178,7 +248,38 @@ pub fn run_threaded(sch: &Schedule, store: &BufferStore, threads: usize) -> Resu
         n,
         "threaded execution stalled (cyclic or broken DAG?)"
     );
+
+    if let Some(p) = probe {
+        // Replay the recorded spans in time order (starts before ends at
+        // equal timestamps).
+        let mut evs: Vec<(u64, bool, u32)> = Vec::with_capacity(2 * n);
+        let mut makespan = 0u64;
+        for (i, (s, e)) in stamps.iter().enumerate() {
+            let (s, e) = (s.load(Ordering::Relaxed), e.load(Ordering::Relaxed));
+            if s > 0 {
+                let e = e.max(s);
+                evs.push((s - 1, false, i as u32));
+                evs.push((e - 1, true, i as u32));
+                makespan = makespan.max(e - 1);
+            }
+        }
+        evs.sort_unstable();
+        for (t, is_end, op) in evs {
+            let ts = t as f64 * 1e-9;
+            if is_end {
+                p.op_end(op, ts);
+            } else {
+                p.op_start(op, ts);
+            }
+        }
+        p.end_run(makespan as f64 * 1e-9);
+    }
     Ok(())
+}
+
+/// Nanoseconds since `t0`, offset by 1 so 0 can mean "never recorded".
+fn nanos_since(t0: Instant) -> u64 {
+    (t0.elapsed().as_nanos() as u64).saturating_add(1)
 }
 
 #[cfg(test)]
@@ -187,7 +288,7 @@ mod tests {
     use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
 
     /// A chain of copies relaying a pattern through several buffers.
-    fn relay_schedule(hops: usize) -> Schedule {
+    fn relay_schedule(hops: usize) -> FrozenSchedule {
         let grid = ProcGrid::single_node(1);
         let mut b = ScheduleBuilder::new(grid, "relay");
         let bufs: Vec<_> = (0..=hops)
@@ -205,7 +306,7 @@ mod tests {
                 0,
             ));
         }
-        b.finish()
+        b.finish().freeze()
     }
 
     #[test]
@@ -246,7 +347,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let store = BufferStore::new(&sch);
         store.fill(s, 0, &[5; 8]);
         run_threaded(&sch, &store, 4).unwrap();
@@ -269,7 +370,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let store = BufferStore::new(&sch);
         let a: Vec<u8> = [1.25f64, -2.0]
             .iter()
@@ -304,7 +405,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let store = BufferStore::new(&sch);
         let a: Vec<u8> = [1.0f32, 9.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
         let o: Vec<u8> = [3.0f32, 2.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
@@ -333,7 +434,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let store = BufferStore::new(&sch);
         assert!(matches!(
             run_single(&sch, &store),
@@ -347,7 +448,9 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_a_noop() {
-        let sch = ScheduleBuilder::new(ProcGrid::single_node(1), "empty").finish();
+        let sch = ScheduleBuilder::new(ProcGrid::single_node(1), "empty")
+            .finish()
+            .freeze();
         let store = BufferStore::new(&sch);
         run_single(&sch, &store).unwrap();
         run_threaded(&sch, &store, 4).unwrap();
@@ -377,7 +480,7 @@ mod tests {
             &mids,
             2,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let store = BufferStore::new(&sch);
         store.fill(src, 0, &[7; 8]);
         run_threaded(&sch, &store, 8).unwrap();

@@ -21,7 +21,7 @@ mod executor;
 mod memory;
 mod verify;
 
-pub use executor::{run_single, run_threaded, ExecError};
+pub use executor::{run_single, run_single_probed, run_threaded, run_threaded_probed, ExecError};
 pub use memory::BufferStore;
 pub use verify::{
     rank_pattern, rank_values_f32, verify_allgather, verify_allreduce_sum_f32, verify_alltoall,

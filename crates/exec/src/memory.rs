@@ -76,8 +76,7 @@ impl BufferStore {
             let g1 = self.bufs[first.index()].lock();
             let g2 = self.bufs[second.index()].lock();
             let (sg, mut dg) = if src.buf == first { (g1, g2) } else { (g2, g1) };
-            dg[dst.offset..dst.offset + len]
-                .copy_from_slice(&sg[src.offset..src.offset + len]);
+            dg[dst.offset..dst.offset + len].copy_from_slice(&sg[src.offset..src.offset + len]);
         }
     }
 
@@ -178,14 +177,8 @@ mod tests {
     #[test]
     fn combine_sums_f32() {
         let (_s, st) = store_with(&[8, 8]);
-        let a: Vec<u8> = [1.5f32, 2.0]
-            .iter()
-            .flat_map(|v| v.to_ne_bytes())
-            .collect();
-        let b: Vec<u8> = [0.5f32, 3.0]
-            .iter()
-            .flat_map(|v| v.to_ne_bytes())
-            .collect();
+        let a: Vec<u8> = [1.5f32, 2.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let b: Vec<u8> = [0.5f32, 3.0].iter().flat_map(|v| v.to_ne_bytes()).collect();
         st.fill(BufId(0), 0, &a);
         st.fill(BufId(1), 0, &b);
         st.combine_bytes(

@@ -10,7 +10,7 @@
 //! * **Allreduce**: every rank's receive buffer equals the elementwise sum
 //!   of all ranks' contributions (MPI_Allreduce with MPI_SUM).
 
-use mha_sched::{BufId, Schedule};
+use mha_sched::{BufId, FrozenSchedule};
 
 use crate::executor::{run_single, run_threaded, ExecError};
 use crate::memory::BufferStore;
@@ -102,7 +102,7 @@ pub fn rank_pattern(rank: usize, len: usize) -> Vec<u8> {
         .collect()
 }
 
-fn run_mode(sch: &Schedule, store: &BufferStore, mode: Mode) -> Result<(), ExecError> {
+fn run_mode(sch: &FrozenSchedule, store: &BufferStore, mode: Mode) -> Result<(), ExecError> {
     match mode {
         Mode::Single => run_single(sch, store),
         Mode::Threaded(n) => run_threaded(sch, store, n),
@@ -115,7 +115,7 @@ fn run_mode(sch: &Schedule, store: &BufferStore, mode: Mode) -> Result<(), ExecE
 /// `send[r]`/`recv[r]` are the send/recv buffers of rank `r`; `msg` is the
 /// per-rank contribution size in bytes.
 pub fn verify_allgather(
-    sch: &Schedule,
+    sch: &FrozenSchedule,
     send: &[BufId],
     recv: &[BufId],
     msg: usize,
@@ -156,7 +156,7 @@ pub fn rank_values_f32(rank: usize, elems: usize) -> Vec<f32> {
 /// checks MPI_Allreduce(SUM) semantics: every rank's receive buffer holds
 /// the elementwise sum over all ranks.
 pub fn verify_allreduce_sum_f32(
-    sch: &Schedule,
+    sch: &FrozenSchedule,
     send: &[BufId],
     recv: &[BufId],
     elems: usize,
@@ -198,7 +198,7 @@ pub fn verify_allreduce_sum_f32(
 ///
 /// `bufs[r]` is rank `r`'s broadcast buffer (the root's doubles as input).
 pub fn verify_bcast(
-    sch: &Schedule,
+    sch: &FrozenSchedule,
     bufs: &[BufId],
     root: usize,
     msg: usize,
@@ -227,7 +227,7 @@ pub fn verify_bcast(
 /// MPI_Alltoall semantics: `recv[r]` block `s` equals block `r` of rank
 /// `s`'s send buffer.
 pub fn verify_alltoall(
-    sch: &Schedule,
+    sch: &FrozenSchedule,
     send: &[BufId],
     recv: &[BufId],
     msg: usize,
@@ -265,7 +265,7 @@ mod tests {
 
     /// Hand-rolled 2-rank allgather: each rank copies its own data into its
     /// recv buffer and CMA-reads the peer's.
-    fn manual_allgather(msg: usize) -> (Schedule, Vec<BufId>, Vec<BufId>) {
+    fn manual_allgather(msg: usize) -> (FrozenSchedule, Vec<BufId>, Vec<BufId>) {
         let grid = ProcGrid::single_node(2);
         let mut b = ScheduleBuilder::new(grid, "manual");
         let sends: Vec<_> = (0..2)
@@ -296,7 +296,7 @@ mod tests {
                 0,
             );
         }
-        (b.finish(), sends, recvs)
+        (b.finish().freeze(), sends, recvs)
     }
 
     #[test]
@@ -338,7 +338,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let err = verify_allgather(&sch, &sends, &recvs, msg, Mode::Single).unwrap_err();
         assert!(matches!(err, VerifyError::Mismatch { rank: 1, .. }));
     }
@@ -405,7 +405,7 @@ mod tests {
                 1,
             );
         }
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         verify_allreduce_sum_f32(&sch, &sends, &recvs, elems, Mode::Single).unwrap();
         verify_allreduce_sum_f32(&sch, &sends, &recvs, elems, Mode::Threaded(3)).unwrap();
     }

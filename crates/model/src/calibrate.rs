@@ -32,7 +32,7 @@ fn time_cma(sim: &Simulator, len: usize) -> Result<f64, SimError> {
         &[],
         0,
     );
-    Ok(sim.run(&b.finish())?.makespan)
+    Ok(sim.run(&b.finish().freeze())?.makespan)
 }
 
 fn time_rails(sim: &Simulator, len: usize) -> Result<f64, SimError> {
@@ -50,7 +50,7 @@ fn time_rails(sim: &Simulator, len: usize) -> Result<f64, SimError> {
         &[],
         0,
     );
-    Ok(sim.run(&b.finish())?.makespan)
+    Ok(sim.run(&b.finish().freeze())?.makespan)
 }
 
 fn time_copy(sim: &Simulator, len: usize, concurrency: u32) -> Result<f64, SimError> {
@@ -61,7 +61,7 @@ fn time_copy(sim: &Simulator, len: usize, concurrency: u32) -> Result<f64, SimEr
         let d = b.private_buf(RankId(r), len, "d");
         b.copy(RankId(r), Loc::new(shm, 0), Loc::new(d, 0), len, &[], 0);
     }
-    Ok(sim.run(&b.finish())?.makespan)
+    Ok(sim.run(&b.finish().freeze())?.makespan)
 }
 
 /// Measured calibration of [`ModelParams`] against a simulated cluster.
@@ -79,12 +79,7 @@ pub fn calibrate(spec: &ClusterSpec) -> Result<ModelParams, SimError> {
     let (alpha_c, bw_c) = fit_alpha_beta(s1, time_cma(&sim, s1)?, s2, time_cma(&sim, s2)?);
     let (alpha_h_eff, bw_h_all) =
         fit_alpha_beta(s1, time_rails(&sim, s1)?, s2, time_rails(&sim, s2)?);
-    let (alpha_l, bw_l) = fit_alpha_beta(
-        s1,
-        time_copy(&sim, s1, 1)?,
-        s2,
-        time_copy(&sim, s2, 1)?,
-    );
+    let (alpha_l, bw_l) = fit_alpha_beta(s1, time_copy(&sim, s1, 1)?, s2, time_copy(&sim, s2, 1)?);
 
     // Memory bandwidth from the congestion of many concurrent copies:
     // k copies of S bytes complete in ≈ k·S / mem_bw once congested.
@@ -120,10 +115,20 @@ mod tests {
         let spec = ClusterSpec::thor();
         let p = calibrate(&spec).unwrap();
         p.validate().unwrap();
-        assert!(rel(p.bw_c, spec.cma_bw) < 0.02, "bw_c {} vs {}", p.bw_c, spec.cma_bw);
+        assert!(
+            rel(p.bw_c, spec.cma_bw) < 0.02,
+            "bw_c {} vs {}",
+            p.bw_c,
+            spec.cma_bw
+        );
         assert!(rel(p.bw_h, spec.rail_bw) < 0.02);
         assert!(rel(p.bw_l, spec.copy_bw) < 0.02);
-        assert!(rel(p.mem_bw, spec.mem_bw) < 0.1, "mem {} vs {}", p.mem_bw, spec.mem_bw);
+        assert!(
+            rel(p.mem_bw, spec.mem_bw) < 0.1,
+            "mem {} vs {}",
+            p.mem_bw,
+            spec.mem_bw
+        );
     }
 
     #[test]

@@ -142,10 +142,10 @@ mod tests {
         assert!(intra_bcast(&p, ml, l) <= p.t_h(2 * ml));
         assert!(intra_bcast(&p, ml, l) <= p.t_h(ml));
         let base = crate::intra::mha_intra_latency_auto(&p, l, m);
-        let ring_tail = mha_inter_latency(&p, n, l, m, Phase2::Ring) - phase2_ring(&p, n, ml) - base;
-        let rd_tail = mha_inter_latency(&p, n, l, m, Phase2::RecursiveDoubling)
-            - phase2_rd(&p, n, ml)
-            - base;
+        let ring_tail =
+            mha_inter_latency(&p, n, l, m, Phase2::Ring) - phase2_ring(&p, n, ml) - base;
+        let rd_tail =
+            mha_inter_latency(&p, n, l, m, Phase2::RecursiveDoubling) - phase2_rd(&p, n, ml) - base;
         assert!(
             rd_tail > 4.0 * ring_tail,
             "rd tail {rd_tail} vs ring tail {ring_tail}"

@@ -25,6 +25,4 @@ pub use intra::{
     direct_spread_latency, mha_intra_latency, mha_intra_latency_auto, optimal_offload,
 };
 pub use params::ModelParams;
-pub use validate::{
-    mean_rel_error, validate_inter, validate_intra, ModelError, ValidationPoint,
-};
+pub use validate::{mean_rel_error, validate_inter, validate_intra, ModelError, ValidationPoint};

@@ -5,9 +5,7 @@
 //! message-size range, price each point both ways, and report
 //! predicted-vs-actual pairs plus summary error statistics.
 
-use mha_collectives::mha::{
-    build_mha_intra, build_mha_inter, InterAlgo, MhaInterConfig, Offload,
-};
+use mha_collectives::mha::{build_mha_inter, build_mha_intra, InterAlgo, MhaInterConfig, Offload};
 use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, SimError, Simulator};
 

@@ -5,8 +5,8 @@
 //! node (the shared-memory segment used by the two-level designs for the
 //! overlapped distribution phase).
 
-use crate::ids::{BufId, NodeId, RankId};
 use crate::grid::ProcGrid;
+use crate::ids::{BufId, NodeId, RankId};
 
 /// Where a buffer lives and who may touch it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -60,7 +60,10 @@ impl ScheduleBuilder {
     /// Declares a node-shared (shm) buffer on `node` with interleaved
     /// (NUMA-agnostic) placement.
     pub fn shared_buf(&mut self, node: NodeId, len: usize, label: impl Into<String>) -> BufId {
-        assert!(node.0 < self.grid.nodes(), "buffer node {node} outside grid");
+        assert!(
+            node.0 < self.grid.nodes(),
+            "buffer node {node} outside grid"
+        );
         self.decl(BufKind::NodeShared(node), len, None, label)
     }
 
@@ -75,7 +78,10 @@ impl ScheduleBuilder {
         len: usize,
         label: impl Into<String>,
     ) -> BufId {
-        assert!(node.0 < self.grid.nodes(), "buffer node {node} outside grid");
+        assert!(
+            node.0 < self.grid.nodes(),
+            "buffer node {node} outside grid"
+        );
         self.decl(BufKind::NodeShared(node), len, Some(socket), label)
     }
 
@@ -196,7 +202,7 @@ impl ScheduleBuilder {
         step: u32,
     ) -> OpId {
         assert!(
-            len % dtype.size() == 0,
+            len.is_multiple_of(dtype.size()),
             "reduce length {len} not a multiple of element size {}",
             dtype.size()
         );

@@ -28,10 +28,7 @@ impl ProcGrid {
     pub fn new(nodes: u32, ppn: u32) -> Self {
         assert!(nodes > 0, "a grid needs at least one node");
         assert!(ppn > 0, "a grid needs at least one process per node");
-        assert!(
-            nodes.checked_mul(ppn).is_some(),
-            "rank count overflows u32"
-        );
+        assert!(nodes.checked_mul(ppn).is_some(), "rank count overflows u32");
         ProcGrid { nodes, ppn }
     }
 

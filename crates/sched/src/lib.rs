@@ -8,14 +8,22 @@
 //! * [`BufferDecl`]s for rank-private and node-shared (shm) memory,
 //! * a dependency DAG of [`Op`]s — transfers over CMA or HCA rails, CPU
 //!   copies, reductions and pure compute,
-//! * a [`ScheduleBuilder`] that keeps the graph acyclic by construction, and
+//! * a [`ScheduleBuilder`] that keeps the graph acyclic by construction,
 //! * [`validate`]/[`check_races`] which prove a schedule is structurally
-//!   sound and deterministic under any interleaving.
+//!   sound and deterministic under any interleaving,
+//! * [`Schedule::freeze`] → [`FrozenSchedule`], the execution-ready form:
+//!   CSR predecessor/successor adjacency, indegrees, a topological order and
+//!   a dense per-op table, shared by every interpreter,
+//! * [`runtime`], the indegree-counter readiness drivers ([`ReadySet`],
+//!   [`AtomicReadySet`]) both backends schedule with, and
+//! * [`probe`], the pluggable observability seam ([`Probe`] sinks: JSONL
+//!   traces, run summaries with the network/CPU overlap fraction).
 //!
-//! Collective algorithms (in `mha-collectives`) compile to this IR once; the
-//! discrete-event simulator (`mha-simnet`) then prices the schedule on a
-//! model of the Thor cluster while the threaded executor (`mha-exec`) runs it
-//! on real byte buffers to verify semantics. One schedule, two interpreters.
+//! Collective algorithms (in `mha-collectives`) compile to this IR once and
+//! freeze it; the discrete-event simulator (`mha-simnet`) then prices the
+//! schedule on a model of the Thor cluster while the threaded executor
+//! (`mha-exec`) runs it on real byte buffers to verify semantics. One frozen
+//! schedule, two interpreters, one readiness runtime.
 //!
 //! ```
 //! use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
@@ -35,16 +43,25 @@
 
 mod buffer;
 mod builder;
+mod frozen;
 mod grid;
 mod ids;
 mod op;
+pub mod probe;
+pub mod runtime;
 mod schedule;
 mod validate;
 
 pub use buffer::{BufKind, BufferDecl, Loc};
 pub use builder::{RankCursors, ScheduleBuilder};
+pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
 pub use ids::{BufId, NodeId, OpId, RankId};
 pub use op::{Channel, DType, Op, OpKind, RedOp};
+pub use probe::{
+    intersection_length, union_length, JsonlProbe, NullProbe, Probe, ResourceUtil, RunSummary,
+    SummaryProbe, Tee,
+};
+pub use runtime::{AtomicReadySet, ReadySet};
 pub use schedule::{Schedule, ScheduleStats};
 pub use validate::{check_races, rail_registered_buffers, validate, Race, ValidateError};

@@ -110,23 +110,6 @@ impl Schedule {
             .filter(move |b| b.kind == BufKind::NodeShared(node))
     }
 
-    /// Successor adjacency: for each op, the ops that depend on it.
-    /// Computed on demand; O(edges).
-    pub fn successors(&self) -> Vec<Vec<OpId>> {
-        let mut succ = vec![Vec::new(); self.ops.len()];
-        for op in &self.ops {
-            for &d in &op.deps {
-                succ[d.index()].push(op.id);
-            }
-        }
-        succ
-    }
-
-    /// In-degree of every op (number of dependencies).
-    pub fn indegrees(&self) -> Vec<u32> {
-        self.ops.iter().map(|o| o.deps.len() as u32).collect()
-    }
-
     /// Computes aggregate statistics in one pass.
     pub fn stats(&self) -> ScheduleStats {
         let mut s = ScheduleStats {
@@ -137,13 +120,7 @@ impl Schedule {
         // ordered because deps always point backwards).
         let mut depth = vec![0usize; self.ops.len()];
         for op in &self.ops {
-            let d = op
-                .deps
-                .iter()
-                .map(|p| depth[p.index()])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let d = op.deps.iter().map(|p| depth[p.index()]).max().unwrap_or(0) + 1;
             depth[op.id.index()] = d;
             s.critical_path = s.critical_path.max(d);
             if op.has_step() {
@@ -207,8 +184,8 @@ impl Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::ScheduleBuilder;
     use crate::buffer::Loc;
+    use crate::builder::ScheduleBuilder;
 
     fn tiny() -> Schedule {
         let grid = ProcGrid::new(2, 2);
@@ -257,12 +234,14 @@ mod tests {
     }
 
     #[test]
-    fn successors_inverts_deps() {
-        let sch = tiny();
-        let succ = sch.successors();
-        assert_eq!(succ[0], vec![OpId(1)]);
-        assert!(succ[1].is_empty());
-        assert_eq!(sch.indegrees(), vec![0, 1]);
+    fn freeze_inverts_deps() {
+        // Adjacency queries moved to the frozen IR; freezing keeps the
+        // schedule reachable through Deref.
+        let fs = tiny().freeze();
+        assert_eq!(fs.succs(0), &[1]);
+        assert!(fs.succs(1).is_empty());
+        assert_eq!(fs.indegrees(), &[0, 1]);
+        assert_eq!(fs.ops().len(), 2);
     }
 
     #[test]

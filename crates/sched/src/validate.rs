@@ -139,10 +139,16 @@ pub fn validate(sch: &Schedule, rails: Option<u8>) -> Result<(), ValidateError> 
                 check_range(sch, id, *src, *len)?;
                 check_range(sch, id, *dst, *len)?;
                 if !sch.buffer(src.buf).transfer_endpoint_ok(grid, *src_rank) {
-                    return Err(ValidateError::BadEndpoint { op: id, buf: src.buf });
+                    return Err(ValidateError::BadEndpoint {
+                        op: id,
+                        buf: src.buf,
+                    });
                 }
                 if !sch.buffer(dst.buf).transfer_endpoint_ok(grid, *dst_rank) {
-                    return Err(ValidateError::BadEndpoint { op: id, buf: dst.buf });
+                    return Err(ValidateError::BadEndpoint {
+                        op: id,
+                        buf: dst.buf,
+                    });
                 }
                 match channel {
                     Channel::Cma => {
@@ -177,7 +183,10 @@ pub fn validate(sch: &Schedule, rails: Option<u8>) -> Result<(), ValidateError> 
                 check_range(sch, id, *dst, *len)?;
                 for loc in [src, dst] {
                     if !sch.buffer(loc.buf).local_to(grid, *actor) {
-                        return Err(ValidateError::NonLocalAccess { op: id, buf: loc.buf });
+                        return Err(ValidateError::NonLocalAccess {
+                            op: id,
+                            buf: loc.buf,
+                        });
                     }
                 }
                 if src.buf == dst.buf {
@@ -206,7 +215,10 @@ pub fn validate(sch: &Schedule, rails: Option<u8>) -> Result<(), ValidateError> 
                 check_range(sch, id, *operand, *len)?;
                 for loc in [acc, operand] {
                     if !sch.buffer(loc.buf).local_to(grid, *actor) {
-                        return Err(ValidateError::NonLocalAccess { op: id, buf: loc.buf });
+                        return Err(ValidateError::NonLocalAccess {
+                            op: id,
+                            buf: loc.buf,
+                        });
                     }
                 }
             }
@@ -328,7 +340,11 @@ pub fn check_races(sch: &Schedule) -> Vec<Race> {
                     continue;
                 }
                 if !reach.ordered(a.op, b.op) && !reach.ordered(b.op, a.op) {
-                    let (lo, hi) = if a.op < b.op { (a.op, b.op) } else { (b.op, a.op) };
+                    let (lo, hi) = if a.op < b.op {
+                        (a.op, b.op)
+                    } else {
+                        (b.op, a.op)
+                    };
                     let race = Race {
                         a: lo,
                         b: hi,
@@ -458,7 +474,11 @@ mod tests {
         assert!(validate(&sch, None).is_ok());
         assert!(matches!(
             validate(&sch, Some(2)).unwrap_err(),
-            ValidateError::RailOutOfRange { rail: 5, rails: 2, .. }
+            ValidateError::RailOutOfRange {
+                rail: 5,
+                rails: 2,
+                ..
+            }
         ));
     }
 

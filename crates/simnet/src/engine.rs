@@ -1,5 +1,10 @@
-//! The discrete-event engine: executes a schedule DAG in virtual time on a
-//! [`ClusterSpec`], with fluid max-min fair bandwidth sharing.
+//! The discrete-event engine: executes a frozen schedule DAG in virtual time
+//! on a [`ClusterSpec`], with fluid max-min fair bandwidth sharing.
+//!
+//! The engine consumes the compiled form of a schedule
+//! ([`mha_sched::FrozenSchedule`]) and drives readiness through the shared
+//! indegree-counter runtime ([`mha_sched::ReadySet`]) — the same machinery
+//! the real executors use, so both backends release ops in identical order.
 //!
 //! Each op, once its dependencies finish, pays a fixed startup latency
 //! (α_C / α_H / α_L, plus the rendezvous handshake for large rail messages)
@@ -8,16 +13,24 @@
 //! rate. Whenever a flow starts or finishes, rates are recomputed — but only
 //! for the *connected component* of flows reachable from the changed
 //! resources, so million-op flat-ring schedules stay tractable.
+//!
+//! Every run narrates itself through a [`Probe`] ([`Simulator::run_probed`]):
+//! op spans, flow-rate changes, water-fill recomputations and resource
+//! totals. [`Simulator::run`] plugs in the no-op sink; `trace: true` plugs in
+//! the ASCII-timeline sink ([`crate::trace::TraceBuilder`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use mha_sched::{Channel, OpKind, ProcGrid, Schedule};
+use mha_sched::{Channel, FrozenSchedule, NullProbe, OpKind, Probe, ProcGrid, ReadySet, Schedule};
 
 use crate::resources::{socket_of, ResourceId, ResourceMap};
 use crate::topology::ClusterSpec;
-use crate::trace::{OpSpan, Trace};
+use crate::trace::{Trace, TraceBuilder};
 use crate::waterfill::{FlowSpec, WaterFiller};
+
+/// One expanded flow: `(rate cap, weighted resources, bytes)`.
+type FlowSpecTuple = (f64, Vec<(ResourceId, f64)>, f64);
 
 /// An error preventing simulation.
 #[derive(Debug)]
@@ -107,10 +120,7 @@ impl SimResult {
     /// The busiest resource and its utilization.
     pub fn bottleneck(&self) -> Option<(String, f64)> {
         let util = self.utilization();
-        let (i, u) = util
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (i, u) = util.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         Some((self.resource_labels[i].clone(), *u))
     }
 }
@@ -200,7 +210,13 @@ impl EngineState {
     /// Recomputes max-min rates over the connected component reachable from
     /// `seed_resources`, settling byte accounting at `now` and rescheduling
     /// completion predictions for flows whose rate changed.
-    fn recompute(&mut self, now: f64, seed_resources: &[ResourceId], rmap: &ResourceMap) {
+    fn recompute(
+        &mut self,
+        now: f64,
+        seed_resources: &[ResourceId],
+        rmap: &ResourceMap,
+        probe: &mut dyn Probe,
+    ) {
         self.epoch += 1;
         let e = self.epoch;
         let mut comp: Vec<u32> = Vec::new();
@@ -256,8 +272,10 @@ impl EngineState {
                 }
             })
             .collect();
-        self.filler.fill(&specs, |r| rmap.capacity(r), &mut self.rates);
+        self.filler
+            .fill(&specs, |r| rmap.capacity(r), &mut self.rates);
         drop(specs);
+        probe.waterfill(now, comp.len());
 
         for (k, &fi) in comp.iter().enumerate() {
             let new_rate = self.rates[k];
@@ -268,7 +286,8 @@ impl EngineState {
                 f.version += 1;
                 assert!(new_rate > 0.0, "flow starved by water-filling");
                 let t_fin = now + f.remaining / new_rate;
-                let (flow, version) = (fi, f.version);
+                let (flow, version, op) = (fi, f.version, f.op);
+                probe.flow_rate(op, new_rate, now);
                 self.push_event(t_fin, Ev::Finish { flow, version });
             }
         }
@@ -294,12 +313,30 @@ impl Simulator {
     }
 
     /// Simulates `sch` with default options; returns virtual-time results.
-    pub fn run(&self, sch: &Schedule) -> Result<SimResult, SimError> {
-        self.run_with(sch, SimConfig::default())
+    pub fn run(&self, sch: &FrozenSchedule) -> Result<SimResult, SimError> {
+        self.run_probed(sch, &mut NullProbe)
     }
 
     /// Simulates `sch` with explicit options.
-    pub fn run_with(&self, sch: &Schedule, config: SimConfig) -> Result<SimResult, SimError> {
+    pub fn run_with(&self, sch: &FrozenSchedule, config: SimConfig) -> Result<SimResult, SimError> {
+        if config.trace {
+            let mut tb = TraceBuilder::new();
+            let mut r = self.run_probed(sch, &mut tb)?;
+            r.trace = Some(tb.finish(sch));
+            Ok(r)
+        } else {
+            self.run_probed(sch, &mut NullProbe)
+        }
+    }
+
+    /// Simulates `sch`, narrating the run through `probe` (see
+    /// [`mha_sched::probe`] for the available sinks). The returned result
+    /// never carries a [`Trace`]; use [`Simulator::run_with`] for that.
+    pub fn run_probed(
+        &self,
+        sch: &FrozenSchedule,
+        probe: &mut dyn Probe,
+    ) -> Result<SimResult, SimError> {
         mha_sched::validate(sch, Some(self.spec.rails))?;
         let grid = *sch.grid();
         if grid.ppn() > self.spec.cores_per_node {
@@ -309,13 +346,11 @@ impl Simulator {
             });
         }
         let rmap = ResourceMap::new(&grid, &self.spec);
-        let n_ops = sch.ops().len();
+        let n_ops = sch.n_ops();
+        probe.begin_run(sch, "simnet");
 
-        let mut indeg = sch.indegrees();
-        let succ = sch.successors();
+        let mut ready = ReadySet::new(sch);
 
-        let mut op_ready = vec![f64::NAN; n_ops];
-        let mut op_start = vec![f64::NAN; n_ops];
         let mut op_end = vec![f64::NAN; n_ops];
         let mut op_flows_left = vec![0u32; n_ops];
         let mut rr_next_rail: Vec<u8> = vec![0; grid.nodes() as usize];
@@ -336,16 +371,13 @@ impl Simulator {
             max_active: 0,
         };
 
-        for (i, op) in sch.ops().iter().enumerate() {
-            if op.deps.is_empty() {
-                op_ready[i] = 0.0;
-                let alpha = self.op_alpha(sch, i);
-                st.push_event(alpha, Ev::Start { op: i as u32 });
-            }
+        for &i in sch.roots() {
+            probe.op_ready(i, 0.0);
+            let alpha = self.op_alpha(sch, i as usize);
+            st.push_event(alpha, Ev::Start { op: i });
         }
 
         let mut events = 0u64;
-        let mut completed = 0usize;
         let mut makespan = 0.0f64;
 
         while let Some(HeapEv { time, ev, .. }) = st.heap.pop() {
@@ -353,7 +385,7 @@ impl Simulator {
             match ev {
                 Ev::Start { op } => {
                     let oi = op as usize;
-                    op_start[oi] = time;
+                    probe.op_start(op, time);
                     let specs = self.op_flow_specs(sch, oi, &rmap, &grid, &mut rr_next_rail);
                     let mut seeds: Vec<ResourceId> = Vec::new();
                     let mut created = 0u32;
@@ -400,7 +432,8 @@ impl Simulator {
                             let f = &mut st.flows[fi];
                             f.rate = f.cap;
                             let t_fin = time + f.remaining / f.rate;
-                            let version = f.version;
+                            let (version, rate) = (f.version, f.rate);
+                            probe.flow_rate(op, rate, time);
                             st.push_event(
                                 t_fin,
                                 Ev::Finish {
@@ -415,16 +448,14 @@ impl Simulator {
                     if created == 0 {
                         // Latency-only op (e.g. Compute { flops: 0 }).
                         op_end[oi] = time;
-                        completed += 1;
+                        probe.op_end(op, time);
                         makespan = makespan.max(time);
-                        self.enqueue_ready(
-                            sch, oi, time, &succ, &mut indeg, &mut op_ready, &mut st,
-                        );
+                        self.enqueue_ready(sch, op, time, &mut ready, probe, &mut st);
                         continue;
                     }
                     op_flows_left[oi] = created;
                     if !seeds.is_empty() {
-                        st.recompute(time, &seeds, &rmap);
+                        st.recompute(time, &seeds, &rmap, probe);
                     }
                 }
                 Ev::Finish { flow, version } => {
@@ -432,7 +463,7 @@ impl Simulator {
                     if !st.flows[fi].alive || st.flows[fi].version != version {
                         continue; // stale prediction
                     }
-                    let oi;
+                    let flow_op: u32;
                     let weighted: Vec<(ResourceId, f64)>;
                     {
                         let f = &mut st.flows[fi];
@@ -447,7 +478,7 @@ impl Simulator {
                         );
                         f.alive = false;
                         f.version += 1;
-                        oi = f.op as usize;
+                        flow_op = f.op;
                         weighted = std::mem::take(&mut f.resources);
                         for &(r, w) in &weighted {
                             st.resource_bytes[r.index()] += moved * w;
@@ -463,80 +494,63 @@ impl Simulator {
                     st.free_flows.push(flow);
                     st.active_flows -= 1;
 
+                    let oi = flow_op as usize;
                     op_flows_left[oi] -= 1;
                     if op_flows_left[oi] == 0 {
                         op_end[oi] = time;
-                        completed += 1;
+                        probe.op_end(flow_op, time);
                         makespan = makespan.max(time);
-                        self.enqueue_ready(
-                            sch, oi, time, &succ, &mut indeg, &mut op_ready, &mut st,
-                        );
+                        self.enqueue_ready(sch, flow_op, time, &mut ready, probe, &mut st);
                     }
                     if !seeds.is_empty() {
-                        st.recompute(time, &seeds, &rmap);
+                        st.recompute(time, &seeds, &rmap, probe);
                     }
                 }
             }
         }
 
-        assert_eq!(
-            completed, n_ops,
+        assert!(
+            ready.is_done(),
             "simulation deadlocked: {} of {n_ops} ops incomplete",
-            n_ops - completed
+            ready.remaining()
         );
 
-        let trace = if config.trace {
-            let spans = sch
-                .ops()
-                .iter()
-                .enumerate()
-                .map(|(i, op)| OpSpan {
-                    op: op.id,
-                    ready: op_ready[i],
-                    start: op_start[i],
-                    end: op_end[i],
-                })
-                .collect();
-            Some(Trace::new(sch, spans))
-        } else {
-            None
-        };
+        let resource_labels: Vec<String> = (0..rmap.len())
+            .map(|i| rmap.label(ResourceId(i as u32)))
+            .collect();
+        for (i, label) in resource_labels.iter().enumerate() {
+            probe.resource_sample(label, st.resource_bytes[i], rmap.capacities()[i]);
+        }
+        probe.end_run(makespan);
 
         Ok(SimResult {
             makespan,
             op_end,
-            trace,
+            trace: None,
             events,
             max_concurrent_flows: st.max_active,
             resource_bytes: st.resource_bytes,
             resource_capacity: rmap.capacities().to_vec(),
-            resource_labels: (0..rmap.len())
-                .map(|i| rmap.label(ResourceId(i as u32)))
-                .collect(),
+            resource_labels,
         })
     }
 
-    /// Marks successors of a completed op ready and schedules their starts.
-    #[allow(clippy::too_many_arguments)]
+    /// Releases successors of completed op `op` through the shared readiness
+    /// driver and schedules their starts after their startup latencies.
     fn enqueue_ready(
         &self,
-        sch: &Schedule,
-        oi: usize,
+        sch: &FrozenSchedule,
+        op: u32,
         time: f64,
-        succ: &[Vec<mha_sched::OpId>],
-        indeg: &mut [u32],
-        op_ready: &mut [f64],
+        ready: &mut ReadySet,
+        probe: &mut dyn Probe,
         st: &mut EngineState,
     ) {
-        for &s in &succ[oi] {
-            let si = s.index();
-            indeg[si] -= 1;
-            if indeg[si] == 0 {
-                op_ready[si] = time;
-                let alpha = self.op_alpha(sch, si);
-                st.push_event(time + alpha, Ev::Start { op: si as u32 });
-            }
-        }
+        ready.complete(sch, op, |s| {
+            probe.op_ready(s, time);
+            let alpha = self.op_alpha(sch, s as usize);
+            st.push_event(time + alpha, Ev::Start { op: s });
+        });
     }
 
     /// Whether any of `locs` lives in a node-shared buffer whose home
@@ -587,7 +601,7 @@ impl Simulator {
         rmap: &ResourceMap,
         grid: &ProcGrid,
         rr_next_rail: &mut [u8],
-    ) -> Vec<(f64, Vec<(ResourceId, f64)>, f64)> {
+    ) -> Vec<FlowSpecTuple> {
         let spec = &self.spec;
         match &sch.ops()[oi].kind {
             OpKind::Transfer {
@@ -657,9 +671,7 @@ impl Simulator {
                 let mut res = vec![(rmap.cpu(*actor), 1.0), (rmap.mem(node, sck), 1.0)];
                 // First-touch shm pages on another socket route the copy
                 // through the cross-socket interconnect.
-                if spec.numa.is_some()
-                    && Self::touches_remote_home(sch, &[*src, *dst], sck)
-                {
+                if spec.numa.is_some() && Self::touches_remote_home(sch, &[*src, *dst], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
                 vec![(spec.copy_bw, res, *len as f64)]
@@ -677,9 +689,7 @@ impl Simulator {
                     (rmap.cpu(*actor), 1.0),
                     (rmap.mem(node, sck), spec.reduce_mem_weight),
                 ];
-                if spec.numa.is_some()
-                    && Self::touches_remote_home(sch, &[*acc, *operand], sck)
-                {
+                if spec.numa.is_some() && Self::touches_remote_home(sch, &[*acc, *operand], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
                 vec![(spec.reduce_bw(), res, *len as f64)]
@@ -724,7 +734,7 @@ mod tests {
             &[],
             0,
         );
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         let expect = spec.cma_alpha + len as f64 / spec.cma_bw;
         assert!(
@@ -751,7 +761,7 @@ mod tests {
             &[],
             0,
         );
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         let expect = spec.rail_alpha + spec.rndv_extra + len as f64 / spec.rail_bw;
         assert!(rel_close(r.makespan, expect, 1e-9));
@@ -775,7 +785,7 @@ mod tests {
                 &[],
                 0,
             );
-            b.finish()
+            b.finish().freeze()
         };
         let one = sim().run(&build(Channel::Rail(0))).unwrap().makespan;
         let both = sim().run(&build(Channel::AllRails)).unwrap().makespan;
@@ -804,7 +814,7 @@ mod tests {
                 0,
             );
         }
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         let single = spec.rail_alpha + len as f64 / spec.rail_bw;
         assert!(
@@ -833,7 +843,7 @@ mod tests {
                 0,
             );
         }
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         // Both CMA flows cross cpu(r2) with capacity copy_bw: each gets
         // copy_bw / 2 (their own cap cma_bw is not binding at that point).
@@ -857,7 +867,7 @@ mod tests {
             let d = b.private_buf(RankId(r), len, "d");
             b.copy(RankId(r), Loc::new(shm, 0), Loc::new(d, 0), len, &[], 0);
         }
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         // 8 copies share mem_bw = 42 GB/s → 5.25 GB/s each, well under the
         // 13 GB/s per-core cap.
         let expect = spec.copy_alpha + len as f64 / (spec.mem_bw / l as f64);
@@ -887,7 +897,7 @@ mod tests {
             0,
         );
         b.copy(RankId(1), Loc::new(d, 0), Loc::new(e, 0), len, &[t1], 1);
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         let expect = spec.t_c(len) + spec.t_l(len);
         assert!(
@@ -902,7 +912,7 @@ mod tests {
         let grid = ProcGrid::single_node(1);
         let mut b = ScheduleBuilder::new(grid, "comp");
         b.compute(RankId(0), 5_000_000, &[], 0);
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
         let expect = 5.0e6 / spec.flops_rate;
         assert!(rel_close(r.makespan, expect, 1e-9));
@@ -914,7 +924,7 @@ mod tests {
         let mut b = ScheduleBuilder::new(grid, "zero");
         let c = b.compute(RankId(0), 0, &[], 0);
         b.compute(RankId(0), 1000, &[c], 1);
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         assert!(r.makespan > 0.0);
         assert_eq!(r.op_end.len(), 2);
         assert!(r.op_end[0] <= r.op_end[1]);
@@ -929,7 +939,7 @@ mod tests {
             let deps: Vec<_> = prev.into_iter().collect();
             prev = Some(b.compute(RankId(i % 4), 1000, &deps, i));
         }
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let r = sim().run(&sch).unwrap();
         for op in sch.ops() {
             for &d in &op.deps {
@@ -957,7 +967,7 @@ mod tests {
                 0,
             );
         }
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let a = sim().run(&sch).unwrap();
         let b2 = sim().run(&sch).unwrap();
         assert_eq!(a.makespan, b2.makespan);
@@ -970,8 +980,11 @@ mod tests {
         let grid = ProcGrid::single_node(64);
         let mut b = ScheduleBuilder::new(grid, "big");
         b.compute(RankId(0), 1, &[], 0);
-        let err = sim().run(&b.finish()).unwrap_err();
-        assert!(matches!(err, SimError::PpnExceedsCores { ppn: 64, cores: 32 }));
+        let err = sim().run(&b.finish().freeze()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::PpnExceedsCores { ppn: 64, cores: 32 }
+        ));
     }
 
     #[test]
@@ -991,7 +1004,7 @@ mod tests {
             0,
         );
         assert!(matches!(
-            sim().run(&b.finish()).unwrap_err(),
+            sim().run(&b.finish().freeze()).unwrap_err(),
             SimError::InvalidSchedule(_)
         ));
     }
@@ -1013,12 +1026,15 @@ mod tests {
             &[],
             0,
         );
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         for u in r.utilization() {
             assert!((0.0..=1.0 + 1e-9).contains(&u));
         }
         let (label, util) = r.bottleneck().unwrap();
-        assert!(label.starts_with("tx") || label.starts_with("rx"), "{label}");
+        assert!(
+            label.starts_with("tx") || label.starts_with("rx"),
+            "{label}"
+        );
         assert!(util > 0.9, "rail should be nearly saturated: {util}");
     }
 
@@ -1041,10 +1057,14 @@ mod tests {
             &[],
             0,
         );
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor();
-        let expect = spec.rail_startup(len) + ((len + 1) / 2) as f64 / spec.rail_bw;
-        assert!(rel_close(r.makespan, expect, 1e-9), "{} vs {expect}", r.makespan);
+        let expect = spec.rail_startup(len) + len.div_ceil(2) as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
         // Both rails carried traffic.
         let tx_bytes: f64 = r
             .resource_labels
@@ -1074,7 +1094,7 @@ mod tests {
             &[],
             0,
         );
-        let r = one.run(&b.finish()).unwrap();
+        let r = one.run(&b.finish().freeze()).unwrap();
         let spec = ClusterSpec::thor_single_rail();
         let expect = spec.rail_startup(len) + len as f64 / spec.rail_bw;
         assert!(rel_close(r.makespan, expect, 1e-9));
@@ -1096,7 +1116,7 @@ mod tests {
             let (s, d) = if i % 2 == 0 { (buf, buf2) } else { (buf2, buf) };
             prev = Some(b.copy(RankId(0), Loc::new(s, 0), Loc::new(d, 0), 64, &deps, i));
         }
-        let r = sim().run(&b.finish()).unwrap();
+        let r = sim().run(&b.finish().freeze()).unwrap();
         assert!(r.events <= 3 * u64::from(n), "events {}", r.events);
     }
 
@@ -1120,7 +1140,7 @@ mod tests {
                 &[],
                 0,
             );
-            b.finish()
+            b.finish().freeze()
         };
         let same = sim.run(&build(0, 1)).unwrap().makespan;
         let cross = sim.run(&build(0, 5)).unwrap().makespan;
@@ -1143,10 +1163,9 @@ mod tests {
                 0,
             );
         }
-        let congested = sim.run(&b.finish()).unwrap().makespan;
+        let congested = sim.run(&b.finish().freeze()).unwrap().makespan;
         let numa = spec.numa.as_ref().unwrap();
-        let expect = spec.cma_alpha + numa.xsocket_alpha
-            + len as f64 / (numa.xsocket_bw / 4.0);
+        let expect = spec.cma_alpha + numa.xsocket_alpha + len as f64 / (numa.xsocket_bw / 4.0);
         assert!(
             (congested - expect).abs() < 0.05 * expect,
             "congested {congested} vs expected {expect}"
@@ -1173,7 +1192,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let spec = ClusterSpec::thor_numa();
         let t = numa.run(&sch).unwrap().makespan;
         // One CMA stream on one socket: bounded by the per-socket memory
@@ -1181,7 +1200,10 @@ mod tests {
         // CMA cap.
         let per_socket = spec.mem_bw / 2.0 / spec.cma_mem_weight;
         let expect = spec.cma_alpha + len as f64 / per_socket.min(spec.cma_bw);
-        assert!((t - expect).abs() < 1e-9 * expect.max(1.0), "{t} vs {expect}");
+        assert!(
+            (t - expect).abs() < 1e-9 * expect.max(1.0),
+            "{t} vs {expect}"
+        );
     }
 
     #[test]
@@ -1200,7 +1222,7 @@ mod tests {
             &[],
             0,
         );
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let r = sim().run_with(&sch, SimConfig { trace: true }).unwrap();
         let t = r.trace.unwrap();
         assert_eq!(t.spans().len(), 1);

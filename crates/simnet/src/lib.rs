@@ -14,9 +14,12 @@
 //! * **Protocol costs** ([`ClusterSpec`]): startup latencies, a rendezvous
 //!   surcharge for large rail messages, the 16 KB striping threshold, and
 //!   round-robin rail selection for small messages (Section 2.1).
-//! * **Observability** ([`Trace`]): per-op spans, an ASCII Gantt renderer in
-//!   the spirit of the paper's Figure 2, CSV dumps, interval/overlap math
-//!   for the Figure 6/7 arguments, and per-resource utilization.
+//! * **Observability** ([`Trace`], [`mha_sched::Probe`]): every run can be
+//!   narrated through a pluggable probe ([`Simulator::run_probed`]) — the
+//!   ASCII Gantt timeline in the spirit of the paper's Figure 2
+//!   ([`TraceBuilder`]), JSONL event streams ([`mha_sched::JsonlProbe`]),
+//!   and utilization/overlap summaries ([`mha_sched::SummaryProbe`]) for
+//!   the Figure 6/7 arguments.
 //!
 //! ```
 //! use mha_simnet::{ClusterSpec, Placement, Simulator};
@@ -46,5 +49,5 @@ pub use microbench::{pt2pt_bandwidth_mbps, pt2pt_latency_us, size_sweep, Placeme
 pub use numa::NumaSpec;
 pub use resources::{ResourceId, ResourceMap};
 pub use topology::ClusterSpec;
-pub use trace::{intersection_length, union_length, Lane, OpSpan, SpanMeta, Trace};
+pub use trace::{intersection_length, union_length, Lane, OpSpan, SpanMeta, Trace, TraceBuilder};
 pub use waterfill::{max_min_rates, FlowSpec, WaterFiller};

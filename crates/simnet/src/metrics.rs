@@ -61,15 +61,11 @@ pub fn kind_breakdown(trace: &Trace) -> KindBreakdown {
 /// Busy time of each step-tag range `[lo, hi)` — e.g. the MHA-inter
 /// convention (phase 1 `0..1000`, phase 2 `1000..2000`, phase 3
 /// `2000..4000`) — as `(range, union busy seconds)`.
-pub fn phase_breakdown(
-    trace: &Trace,
-    ranges: &[(u32, u32)],
-) -> Vec<((u32, u32), f64)> {
+pub fn phase_breakdown(trace: &Trace, ranges: &[(u32, u32)]) -> Vec<((u32, u32), f64)> {
     ranges
         .iter()
         .map(|&(lo, hi)| {
-            let intervals = trace
-                .intervals_where(|_, m| m.step.is_some_and(|s| s >= lo && s < hi));
+            let intervals = trace.intervals_where(|_, m| m.step.is_some_and(|s| s >= lo && s < hi));
             ((lo, hi), union_length(&intervals))
         })
         .collect()
@@ -86,7 +82,7 @@ mod tests {
         let grid = ProcGrid::new(2, 2);
         let mut b = ScheduleBuilder::new(grid, "t");
         build(&mut b);
-        let sch = b.finish();
+        let sch = b.finish().freeze();
         let sim = Simulator::new(ClusterSpec::thor()).unwrap();
         sim.run_with(&sch, SimConfig { trace: true })
             .unwrap()

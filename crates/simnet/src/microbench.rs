@@ -36,15 +36,28 @@ fn channel_for(placement: Placement) -> Channel {
 
 /// One-way latency (microseconds) of a `len`-byte message — the `osu_latency`
 /// ping-pong divided by two.
-pub fn pt2pt_latency_us(sim: &Simulator, placement: Placement, len: usize) -> Result<f64, SimError> {
+pub fn pt2pt_latency_us(
+    sim: &Simulator,
+    placement: Placement,
+    len: usize,
+) -> Result<f64, SimError> {
     let (grid, a, b) = pair_grid(placement);
     let ch = channel_for(placement);
     let mut sb = ScheduleBuilder::new(grid, "osu_latency");
     let abuf = sb.private_buf(a, len, "a");
     let bbuf = sb.private_buf(b, len, "b");
     let ping = sb.transfer(a, b, Loc::new(abuf, 0), Loc::new(bbuf, 0), len, ch, &[], 0);
-    sb.transfer(b, a, Loc::new(bbuf, 0), Loc::new(abuf, 0), len, ch, &[ping], 1);
-    let res = sim.run(&sb.finish())?;
+    sb.transfer(
+        b,
+        a,
+        Loc::new(bbuf, 0),
+        Loc::new(abuf, 0),
+        len,
+        ch,
+        &[ping],
+        1,
+    );
+    let res = sim.run(&sb.finish().freeze())?;
     Ok(res.latency_us() / 2.0)
 }
 
@@ -74,7 +87,7 @@ pub fn pt2pt_bandwidth_mbps(
             0,
         );
     }
-    let res = sim.run(&sb.finish())?;
+    let res = sim.run(&sb.finish().freeze())?;
     let bytes = (len * window) as f64;
     Ok(bytes / res.makespan / 1e6)
 }

@@ -48,7 +48,10 @@ impl NumaSpec {
             ));
         }
         if !(self.xsocket_bw.is_finite() && self.xsocket_bw > 0.0) {
-            return Err(format!("xsocket_bw must be positive, got {}", self.xsocket_bw));
+            return Err(format!(
+                "xsocket_bw must be positive, got {}",
+                self.xsocket_bw
+            ));
         }
         if !(self.xsocket_alpha.is_finite() && self.xsocket_alpha >= 0.0) {
             return Err(format!(

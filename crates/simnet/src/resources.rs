@@ -256,10 +256,7 @@ mod tests {
         let m = ResourceMap::new(&grid, &spec);
         // 8 cpus + 2 nodes * 2 sockets mem + 8 rail endpoints + 2 xsocket.
         assert_eq!(m.len(), 8 + 4 + 8 + 2);
-        assert_eq!(
-            m.capacity(m.mem(NodeId(0), 1)),
-            spec.mem_bw / 2.0
-        );
+        assert_eq!(m.capacity(m.mem(NodeId(0), 1)), spec.mem_bw / 2.0);
         let numa = spec.numa.as_ref().unwrap();
         assert_eq!(m.capacity(m.xsocket(NodeId(1))), numa.xsocket_bw);
         assert_eq!(m.label(m.mem(NodeId(1), 1)), "mem(n1,s1)");

@@ -5,8 +5,17 @@
 //! [`Trace`] captures per-op `ready → start → end` spans from the simulator
 //! and can render them as a Gantt chart grouped per rank (CPU lane and
 //! network lane), or dump CSV for external plotting.
+//!
+//! [`TraceBuilder`] is the [`Probe`] sink that collects those spans: the
+//! engine no longer records timeline arrays itself — `trace: true` simply
+//! plugs this sink into the probed run.
 
-use mha_sched::{Channel, OpId, OpKind, RankId, Schedule};
+use mha_sched::{Channel, FrozenSchedule, OpId, OpKind, Probe, RankId, Schedule};
+
+// Interval arithmetic lives with the probe layer now; re-exported here so
+// existing `mha_simnet::trace::{union_length, intersection_length}` callers
+// keep compiling.
+pub use mha_sched::probe::{intersection_length, union_length};
 
 /// The `ready/start/end` times (seconds) of one op.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,43 +208,48 @@ impl Trace {
     }
 }
 
-/// Total length of the union of `intervals` (which may overlap).
-pub fn union_length(intervals: &[(f64, f64)]) -> f64 {
-    let mut v: Vec<(f64, f64)> = intervals
-        .iter()
-        .copied()
-        .filter(|(a, b)| b > a)
-        .collect();
-    v.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut total = 0.0;
-    let mut cur: Option<(f64, f64)> = None;
-    for (a, b) in v {
-        match cur {
-            None => cur = Some((a, b)),
-            Some((ca, cb)) => {
-                if a <= cb {
-                    cur = Some((ca, cb.max(b)));
-                } else {
-                    total += cb - ca;
-                    cur = Some((a, b));
-                }
-            }
-        }
-    }
-    if let Some((ca, cb)) = cur {
-        total += cb - ca;
-    }
-    total
+/// Probe sink that records op `ready/start/end` spans and assembles a
+/// [`Trace`] when the run completes.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    spans: Vec<OpSpan>,
 }
 
-/// Length of the intersection of the unions of two interval sets — the
-/// "both things happening at once" time used for the paper's overlap
-/// arguments (Figures 6/7).
-pub fn intersection_length(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
-    // |A ∩ B| = |A| + |B| − |A ∪ B|
-    let mut all = a.to_vec();
-    all.extend_from_slice(b);
-    union_length(a) + union_length(b) - union_length(&all)
+impl TraceBuilder {
+    /// An empty sink; spans are sized on [`Probe::begin_run`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the trace, resolving op metadata against `sch`.
+    pub fn finish(self, sch: &Schedule) -> Trace {
+        Trace::new(sch, self.spans)
+    }
+}
+
+impl Probe for TraceBuilder {
+    fn begin_run(&mut self, fs: &FrozenSchedule, _backend: &'static str) {
+        self.spans = (0..fs.n_ops())
+            .map(|i| OpSpan {
+                op: OpId(i as u32),
+                ready: f64::NAN,
+                start: f64::NAN,
+                end: f64::NAN,
+            })
+            .collect();
+    }
+
+    fn op_ready(&mut self, op: u32, t: f64) {
+        self.spans[op as usize].ready = t;
+    }
+
+    fn op_start(&mut self, op: u32, t: f64) {
+        self.spans[op as usize].start = t;
+    }
+
+    fn op_end(&mut self, op: u32, t: f64) {
+        self.spans[op as usize].end = t;
+    }
 }
 
 #[cfg(test)]

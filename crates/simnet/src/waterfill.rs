@@ -36,8 +36,11 @@ const EPS: f64 = 1e-9;
 #[derive(Debug, Default)]
 pub struct WaterFiller {
     // Dense local re-indexing of the (sparse, global) ResourceIds.
+    // `local_of` is indexed by `ResourceId` directly (u32::MAX = absent);
+    // only the entries named by `local_ids` are live, so resetting between
+    // calls costs O(component), not O(cluster resources).
     local_ids: Vec<ResourceId>,
-    local_of: std::collections::HashMap<ResourceId, usize>,
+    local_of: Vec<u32>,
     rem: Vec<f64>,
     wsum: Vec<f64>,
     flows_of: Vec<Vec<u32>>,
@@ -66,8 +69,12 @@ impl WaterFiller {
             return;
         }
 
+        // Un-map the previous component's resources (cheap: O(previous
+        // component size)), then rebuild for this call.
+        for &r in &self.local_ids {
+            self.local_of[r.index()] = u32::MAX;
+        }
         self.local_ids.clear();
-        self.local_of.clear();
         self.rem.clear();
         self.wsum.clear();
         self.flows_of.clear();
@@ -76,16 +83,27 @@ impl WaterFiller {
 
         // Build the local resource table: real resources first…
         for (fi, f) in flows.iter().enumerate() {
-            debug_assert!(f.cap.is_finite() && f.cap > 0.0, "flow cap must be positive");
+            debug_assert!(
+                f.cap.is_finite() && f.cap > 0.0,
+                "flow cap must be positive"
+            );
             for &(r, w) in f.resources {
                 debug_assert!(w.is_finite() && w > 0.0, "weights must be positive");
-                let li = *self.local_of.entry(r).or_insert_with(|| {
-                    self.local_ids.push(r);
-                    self.rem.push(capacity(r));
-                    self.wsum.push(0.0);
-                    self.flows_of.push(Vec::new());
-                    self.local_ids.len() - 1
-                });
+                if r.index() >= self.local_of.len() {
+                    self.local_of.resize(r.index() + 1, u32::MAX);
+                }
+                let li = match self.local_of[r.index()] {
+                    u32::MAX => {
+                        let li = self.local_ids.len();
+                        self.local_of[r.index()] = li as u32;
+                        self.local_ids.push(r);
+                        self.rem.push(capacity(r));
+                        self.wsum.push(0.0);
+                        self.flows_of.push(Vec::new());
+                        li
+                    }
+                    li => li as usize,
+                };
                 self.wsum[li] += w;
                 self.flows_of[li].push(fi as u32);
             }
@@ -137,7 +155,7 @@ impl WaterFiller {
                     unfixed -= 1;
                     // Retire the flow from all its other resources.
                     for &(r, w) in flows[fi].resources {
-                        let other = self.local_of[&r];
+                        let other = self.local_of[r.index()] as usize;
                         self.wsum[other] -= w;
                     }
                     self.wsum[virt_base + fi] = 0.0;
@@ -150,10 +168,7 @@ impl WaterFiller {
 }
 
 /// One-shot convenience wrapper around [`WaterFiller::fill`].
-pub fn max_min_rates(
-    flows: &[FlowSpec<'_>],
-    capacity: impl FnMut(ResourceId) -> f64,
-) -> Vec<f64> {
+pub fn max_min_rates(flows: &[FlowSpec<'_>], capacity: impl FnMut(ResourceId) -> f64) -> Vec<f64> {
     let mut filler = WaterFiller::new();
     let mut rates = Vec::new();
     filler.fill(flows, capacity, &mut rates);
@@ -354,10 +369,7 @@ mod tests {
             let flows: Vec<FlowSpec> = resource_sets
                 .iter()
                 .zip(&flow_caps)
-                .map(|(rs, &cap)| FlowSpec {
-                    cap,
-                    resources: rs,
-                })
+                .map(|(rs, &cap)| FlowSpec { cap, resources: rs })
                 .collect();
             let rates = max_min_rates(&flows, |r| caps[r.index()]);
             check_feasible_and_maxmin(&flows, &caps, &rates);

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use mha_sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
 use mha_simnet::{max_min_rates, ClusterSpec, FlowSpec, ResourceId, Simulator};
 
-fn arb_flows() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<(ResourceId, f64)>>, Vec<f64>)> {
+type ArbFlows = (Vec<f64>, Vec<Vec<(ResourceId, f64)>>, Vec<f64>);
+
+fn arb_flows() -> impl Strategy<Value = ArbFlows> {
     // (resource capacities, per-flow resource sets, per-flow caps)
     (1usize..6, 1usize..10).prop_flat_map(|(nres, nflows)| {
         (
@@ -14,13 +16,12 @@ fn arb_flows() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<(ResourceId, f64)>>, 
                 proptest::collection::btree_set(0..nres as u32, 1..=3.min(nres)).prop_flat_map(
                     |set| {
                         let v: Vec<u32> = set.into_iter().collect();
-                        proptest::collection::vec(1.0f64..3.0, v.len())
-                            .prop_map(move |ws| {
-                                v.iter()
-                                    .zip(&ws)
-                                    .map(|(&r, &w)| (ResourceId(r), w))
-                                    .collect::<Vec<_>>()
-                            })
+                        proptest::collection::vec(1.0f64..3.0, v.len()).prop_map(move |ws| {
+                            v.iter()
+                                .zip(&ws)
+                                .map(|(&r, &w)| (ResourceId(r), w))
+                                .collect::<Vec<_>>()
+                        })
                     },
                 ),
                 nflows,
@@ -85,7 +86,7 @@ proptest! {
             let s = b.private_buf(src, len, "s");
             let d = b.private_buf(dst, len, "d");
             b.transfer(src, dst, Loc::new(s, 0), Loc::new(d, 0), len, ch, &[], 0);
-            b.finish()
+            b.finish().freeze()
         };
         let t = sim.run(&build(len)).unwrap().makespan;
         let ideal = if intra {
@@ -116,7 +117,7 @@ proptest! {
             let d = b.private_buf(dst, len, "d");
             b.transfer(src, dst, Loc::new(s, 0), Loc::new(d, 0), len, Channel::AllRails, &[], 0);
         }
-        let res = sim.run(&b.finish()).unwrap();
+        let res = sim.run(&b.finish().freeze()).unwrap();
         for u in res.utilization() {
             prop_assert!(u <= 1.0 + 1e-9, "utilization {}", u);
         }

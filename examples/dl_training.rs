@@ -24,8 +24,7 @@ fn main() {
             model,
             batch: 16,
         };
-        let mva =
-            run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
+        let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
         let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
         println!(
             "{:>12} {:>11.1}im/s {:>9.1}im/s {:>9.2}%",

@@ -28,7 +28,10 @@ fn main() {
     println!("distributed matvec max |error| vs serial reference: {err:.2e}\n");
 
     println!("strong scaling, A = 1024 x 32768 (GFLOP/s, higher is better):");
-    println!("{:>8} {:>10} {:>12} {:>8}", "procs", "HPC-X", "MVAPICH2-X", "MHA");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "procs", "HPC-X", "MVAPICH2-X", "MHA"
+    );
     for nodes in [2u32, 4, 8] {
         let grid = ProcGrid::new(nodes, 32);
         let cfg = MatvecConfig::strong_scaling(grid);

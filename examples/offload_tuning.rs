@@ -16,7 +16,11 @@ fn main() {
         let eq1 = optimal_offload(&spec, l, msg);
         println!("L = {l}, M = {} KB:", msg / 1024);
         for pt in &curve {
-            let marker = if pt.d == best { "  <== tuned optimum" } else { "" };
+            let marker = if pt.d == best {
+                "  <== tuned optimum"
+            } else {
+                ""
+            };
             let eq1_marker = if pt.d == eq1 { "  (Eq. 1)" } else { "" };
             println!(
                 "  d = {:>2}: {:>10.1} us{}{}",

@@ -18,7 +18,9 @@ fn main() {
     let msg = 1 << 20;
 
     let ring = AllgatherAlgo::Ring.build(grid, msg, &spec).unwrap();
-    let res = sim.run_with(&ring.sched, SimConfig { trace: true }).unwrap();
+    let res = sim
+        .run_with(&ring.sched, SimConfig { trace: true })
+        .unwrap();
     println!("flat Ring Allgather, 2 nodes x 2 PPN, 1 MB (the paper's Figure 2):");
     println!("{}", res.trace.unwrap().render_ascii(96));
 

@@ -47,8 +47,14 @@ fn every_allgather_survives_the_full_pipeline() {
         assert!(races.is_empty(), "{}: races {races:?}", algo.name());
         verify_allgather(&built.sched, &built.send, &built.recv, msg, Mode::Single)
             .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
-        verify_allgather(&built.sched, &built.send, &built.recv, msg, Mode::Threaded(6))
-            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        verify_allgather(
+            &built.sched,
+            &built.send,
+            &built.recv,
+            msg,
+            Mode::Threaded(6),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
         let res = sim.run(&built.sched).unwrap();
         assert!(res.makespan > 0.0, "{}", algo.name());
         // Every op completed in finite time and respects dependencies.
@@ -96,8 +102,7 @@ fn allreduce_survives_the_full_pipeline_on_awkward_grids() {
             AllgatherPhase::FlatRing,
             AllgatherPhase::MhaInter(MhaInterConfig::default()),
         ] {
-            let built =
-                mha::collectives::build_ring_allreduce(grid, elems, phase, &spec).unwrap();
+            let built = mha::collectives::build_ring_allreduce(grid, elems, phase, &spec).unwrap();
             assert!(mha::sched::check_races(&built.sched).is_empty());
             verify_allreduce_sum_f32(
                 &built.sched,

@@ -18,7 +18,14 @@ fn numa3_full_pipeline_and_comparison() {
     let aware = build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
     mha::sched::validate(&aware.sched, Some(spec.rails)).unwrap();
     assert!(mha::sched::check_races(&aware.sched).is_empty());
-    verify_allgather(&aware.sched, &aware.send, &aware.recv, msg, Mode::Threaded(4)).unwrap();
+    verify_allgather(
+        &aware.sched,
+        &aware.send,
+        &aware.recv,
+        msg,
+        Mode::Threaded(4),
+    )
+    .unwrap();
 
     let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
     let t_aware = sim.run(&aware.sched).unwrap().latency_us();

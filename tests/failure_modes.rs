@@ -11,7 +11,10 @@ fn rd_variants_reject_non_powers_of_two() {
     let spec = ClusterSpec::thor();
     assert!(matches!(
         AllgatherAlgo::RecursiveDoubling.build(ProcGrid::new(3, 2), 8, &spec),
-        Err(BuildError::RequiresPowerOfTwo { what: "ranks", got: 6 })
+        Err(BuildError::RequiresPowerOfTwo {
+            what: "ranks",
+            got: 6
+        })
     ));
     assert!(matches!(
         build_mha_inter(
@@ -24,7 +27,10 @@ fn rd_variants_reject_non_powers_of_two() {
             },
             &spec
         ),
-        Err(BuildError::RequiresPowerOfTwo { what: "nodes", got: 5 })
+        Err(BuildError::RequiresPowerOfTwo {
+            what: "nodes",
+            got: 5
+        })
     ));
     assert!(matches!(
         AllgatherAlgo::SingleLeader.build(ProcGrid::new(6, 2), 8, &spec),
@@ -57,7 +63,10 @@ fn allreduce_rejects_indivisible_vectors() {
     let spec = ClusterSpec::thor();
     assert!(matches!(
         build_ring_allreduce(ProcGrid::new(2, 3), 100, AllgatherPhase::FlatRing, &spec),
-        Err(BuildError::IndivisibleVector { elems: 100, ranks: 6 })
+        Err(BuildError::IndivisibleVector {
+            elems: 100,
+            ranks: 6
+        })
     ));
 }
 
@@ -69,7 +78,7 @@ fn simulator_rejects_overloaded_nodes_and_bad_rails() {
     let mut b = ScheduleBuilder::new(grid, "too-big");
     b.compute(RankId(0), 1, &[], 0);
     assert!(matches!(
-        sim.run(&b.finish()),
+        sim.run(&b.finish().freeze()),
         Err(SimError::PpnExceedsCores { ppn: 33, cores: 32 })
     ));
     // Rail index beyond the cluster's two HCAs.
@@ -88,7 +97,7 @@ fn simulator_rejects_overloaded_nodes_and_bad_rails() {
         0,
     );
     assert!(matches!(
-        sim.run(&b.finish()),
+        sim.run(&b.finish().freeze()),
         Err(SimError::InvalidSchedule(_))
     ));
 }
@@ -124,7 +133,7 @@ fn executors_reject_structurally_broken_schedules() {
         &[],
         0,
     );
-    let sch = b.finish();
+    let sch = b.finish().freeze();
     let store = mha::exec::BufferStore::new(&sch);
     assert!(mha::exec::run_single(&sch, &store).is_err());
     assert!(mha::exec::run_threaded(&sch, &store, 2).is_err());
@@ -145,7 +154,10 @@ fn race_checker_catches_a_deliberately_broken_pipeline() {
     // BUG: no dependency on the copy-in.
     b.copy(RankId(1), Loc::new(shm, 0), Loc::new(dst, 0), 64, &[], 1);
     let sch = b.finish();
-    assert!(mha::sched::validate(&sch, None).is_ok(), "structurally fine");
+    assert!(
+        mha::sched::validate(&sch, None).is_ok(),
+        "structurally fine"
+    );
     let races = mha::sched::check_races(&sch);
     assert_eq!(races.len(), 1, "the missing edge must surface as a race");
     assert_eq!(races[0].buf, shm);

@@ -1,0 +1,92 @@
+//! Bit-exact golden simulated latencies for the paper-figure workloads.
+//!
+//! The frozen-schedule refactor (CSR adjacency + shared readiness runtime)
+//! is required to leave the discrete-event engine's event sequence — and so
+//! every simulated makespan — *bit-identical*. These constants were captured
+//! from the pre-refactor engine; any drift means the scheduler → simulator
+//! pipeline changed behaviour. After an *intentional* model change,
+//! regenerate them with `cargo run --release -p mha-bench --bin golden_dump`.
+
+use mha::collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use mha::collectives::AllgatherAlgo;
+use mha::sched::ProcGrid;
+use mha::simnet::{ClusterSpec, Simulator};
+
+fn golden() -> Vec<(&'static str, f64)> {
+    vec![
+        ("fig02/ring_2x2_1M", f64::from_bits(0x3f3834699899a5d2)), // 369.334965 us
+        ("fig08/ring_16x32_4096", f64::from_bits(0x3f5c48ef52b1f2a9)), // 1726.373400 us
+        ("fig08/ring_16x32_65536", f64::from_bits(0x3f9bcd308c4d7c52)), // 27149.923862 us
+        ("fig08/rd_16x32_4096", f64::from_bits(0x3f5d08bd5a0dc992)), // 1772.103227 us
+        ("fig08/rd_16x32_65536", f64::from_bits(0x3f9c98ec44950569)), // 27927.104650 us
+        ("fig12/ring_8x32_4096", f64::from_bits(0x3f5ca8fab664b88f)), // 1749.272190 us
+        ("fig12/bruck_8x32_4096", f64::from_bits(0x3f61a542613c5e41)), // 2153.997086 us
+        ("fig12/mha_8x32_4096", f64::from_bits(0x3f4e4ff3af34a934)), // 925.058352 us
+    ]
+}
+
+/// Rebuilds the same workloads as `golden_dump` and returns the measured
+/// makespans keyed by the same names.
+fn measure() -> Vec<(String, f64)> {
+    let spec = ClusterSpec::thor();
+    let sim = Simulator::new(spec.clone()).unwrap();
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    let built = AllgatherAlgo::Ring
+        .build(ProcGrid::new(2, 2), 1 << 20, &spec)
+        .unwrap();
+    rows.push((
+        "fig02/ring_2x2_1M".into(),
+        sim.run(&built.sched).unwrap().makespan,
+    ));
+
+    for (name, algo) in [
+        ("ring", InterAlgo::Ring),
+        ("rd", InterAlgo::RecursiveDoubling),
+    ] {
+        for msg in [4096usize, 64 * 1024] {
+            let cfg = MhaInterConfig {
+                inter: algo,
+                offload: Offload::Auto,
+                overlap: true,
+            };
+            let built = build_mha_inter(ProcGrid::new(16, 32), msg, cfg, &spec).unwrap();
+            rows.push((
+                format!("fig08/{name}_16x32_{msg}"),
+                sim.run(&built.sched).unwrap().makespan,
+            ));
+        }
+    }
+
+    for (name, algo) in [
+        ("ring", AllgatherAlgo::Ring),
+        ("bruck", AllgatherAlgo::Bruck),
+        ("mha", AllgatherAlgo::MhaInter(MhaInterConfig::default())),
+    ] {
+        let built = algo.build(ProcGrid::new(8, 32), 4096, &spec).unwrap();
+        rows.push((
+            format!("fig12/{name}_8x32_4096"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+    rows
+}
+
+#[test]
+fn paper_figure_latencies_are_bit_identical() {
+    let measured = measure();
+    let expected = golden();
+    assert_eq!(measured.len(), expected.len());
+    for ((name, got), (ename, want)) in measured.iter().zip(&expected) {
+        assert_eq!(name, ename, "workload list drifted");
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{name}: got {:.9} us (0x{:016x}), golden {:.9} us (0x{:016x})",
+            got * 1e6,
+            got.to_bits(),
+            want * 1e6,
+            want.to_bits()
+        );
+    }
+}

@@ -2,13 +2,11 @@
 //! Each test names the figure/section it covers; EXPERIMENTS.md records the
 //! quantitative comparison.
 
-use mha::apps::{Contestant};
+use mha::apps::Contestant;
 use mha::collectives::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
 use mha::collectives::{select_inter_algo, Library};
 use mha::sched::ProcGrid;
-use mha::simnet::{
-    pt2pt_bandwidth_mbps, pt2pt_latency_us, ClusterSpec, Placement, Simulator,
-};
+use mha::simnet::{pt2pt_bandwidth_mbps, pt2pt_latency_us, ClusterSpec, Placement, Simulator};
 
 fn thor() -> ClusterSpec {
     ClusterSpec::thor()
@@ -23,7 +21,10 @@ fn fig1_second_hca_doubles_inter_node_bandwidth() {
     let intra = pt2pt_bandwidth_mbps(&two, Placement::IntraNode, m, 64).unwrap();
     let inter1 = pt2pt_bandwidth_mbps(&one, Placement::InterNode, m, 64).unwrap();
     let inter2 = pt2pt_bandwidth_mbps(&two, Placement::InterNode, m, 64).unwrap();
-    assert!((intra / inter1 - 1.0).abs() < 0.2, "intra {intra} vs 1HCA {inter1}");
+    assert!(
+        (intra / inter1 - 1.0).abs() < 0.2,
+        "intra {intra} vs 1HCA {inter1}"
+    );
     assert!(inter2 / inter1 > 1.85, "2HCA {inter2} vs 1HCA {inter1}");
 }
 
@@ -89,7 +90,10 @@ fn fig12_14_inter_gains_grow_with_scale() {
         );
         prev_gain = gain;
     }
-    assert!(prev_gain > 0.25, "headline-scale gain too small: {prev_gain}");
+    assert!(
+        prev_gain > 0.25,
+        "headline-scale gain too small: {prev_gain}"
+    );
 }
 
 /// Figure 8: RD wins phase 2 for small messages, Ring for large; the tuner
@@ -170,8 +174,7 @@ fn fig17_dl_improvement_direction() {
             model,
             batch: 16,
         };
-        let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
-            .unwrap();
+        let mva = run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
         let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
         assert!(mha.images_per_sec > mva.images_per_sec, "{}", model.name);
     }
