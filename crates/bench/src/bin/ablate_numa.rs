@@ -8,6 +8,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{size_sweep, ClusterSpec, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor_numa();
     let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::new(4, 16);

@@ -8,6 +8,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let msg = 1 << 20;
     let mut intra = Table::new(
         "Ablation: MHA-intra latency (us) vs rail count, 8 processes, 1 MB",

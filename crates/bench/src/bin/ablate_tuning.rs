@@ -8,6 +8,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sim = Simulator::new(spec.clone()).unwrap();
     let msg = 1 << 20;

@@ -5,6 +5,7 @@ use mha_apps::report::{fmt_bytes, Table};
 use mha_simnet::{pt2pt_bandwidth_mbps, size_sweep, ClusterSpec, Placement, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let window = 64;
     let two = Simulator::new(ClusterSpec::thor()).unwrap();
     let one = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();

@@ -6,6 +6,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, SimConfig, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::new(2, 2);

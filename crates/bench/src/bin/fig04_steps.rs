@@ -27,6 +27,7 @@ fn dump(title: &str, built: &mha_collectives::Built, out: &mut String) {
 }
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::single_node(4);

@@ -6,6 +6,7 @@ use mha_collectives::mha::tune_offload;
 use mha_simnet::ClusterSpec;
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     for (l, msg, tag) in [
         (4u32, 4usize << 20, "L4_4M"),

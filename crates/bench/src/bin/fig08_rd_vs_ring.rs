@@ -7,6 +7,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{size_sweep, ClusterSpec, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sim = Simulator::new(spec.clone()).unwrap();
     for nodes in [16u32, 32] {

@@ -6,6 +6,7 @@ use mha_model::{calibrate, mean_rel_error, validate_intra};
 use mha_simnet::{size_sweep, ClusterSpec};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let params = calibrate(&spec).unwrap();
     let sizes = size_sweep(256 * 1024, 16 << 20);

@@ -6,6 +6,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{size_sweep, ClusterSpec};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sizes = size_sweep(256 * 1024, 16 << 20);
     for ppn in [2u32, 4, 8, 16] {

@@ -6,6 +6,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let grid = ProcGrid::new(8, 32);
     let medium = allgather_sweep(

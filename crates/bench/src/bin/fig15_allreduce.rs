@@ -10,6 +10,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sizes_bytes = [64 * 1024usize, 2 << 20, 16 << 20, 128 << 20];
     for nodes in [8u32, 16, 32] {

@@ -30,6 +30,7 @@ fn sweep(title: &str, cfg_of: impl Fn(ProcGrid) -> MatvecConfig, name: &str, spe
 }
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     sweep(
         "Figure 16a: matvec strong scaling, GFLOP/s (1024 x 32768)",

@@ -10,6 +10,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     for model in [RESNET50, RESNET101, RESNET152] {
         let mut t = Table::new(

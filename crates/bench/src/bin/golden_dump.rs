@@ -9,6 +9,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, Simulator};
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
     let sim = Simulator::new(spec.clone()).unwrap();
 
@@ -51,6 +52,42 @@ fn main() {
         let built = algo.build(ProcGrid::new(8, 32), 4096, &spec).unwrap();
         rows.push((
             format!("fig12/{name}_8x32_4096"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    // Fig. 11 workload: MHA-intra on one 16-process node, large messages.
+    for msg in [256 * 1024usize, 4 << 20] {
+        let built = AllgatherAlgo::MhaIntra {
+            offload: Offload::Auto,
+        }
+        .build(ProcGrid::single_node(16), msg, &spec)
+        .unwrap();
+        rows.push((
+            format!("fig11/mha_intra_1x16_{msg}"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    // Fig. 13 workload: 512 processes (16 x 32), ring baseline + MHA.
+    for (name, algo) in [
+        ("ring", AllgatherAlgo::Ring),
+        ("mha", AllgatherAlgo::MhaInter(MhaInterConfig::default())),
+    ] {
+        let built = algo.build(ProcGrid::new(16, 32), 16 * 1024, &spec).unwrap();
+        rows.push((
+            format!("fig13/{name}_16x32_16384"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    // Fig. 14 workload: 1024 processes (32 x 32), medium + large MHA.
+    for msg in [4096usize, 64 * 1024] {
+        let built = AllgatherAlgo::MhaInter(MhaInterConfig::default())
+            .build(ProcGrid::new(32, 32), msg, &spec)
+            .unwrap();
+        rows.push((
+            format!("fig14/mha_32x32_{msg}"),
             sim.run(&built.sched).unwrap().makespan,
         ));
     }

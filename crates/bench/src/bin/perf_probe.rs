@@ -2,6 +2,7 @@
 use std::time::Instant;
 
 fn main() {
+    mha_bench::apply_check_flag();
     let spec = mha_simnet::ClusterSpec::thor();
     let sim = mha_simnet::Simulator::new(spec).unwrap();
     for (nodes, ppn, msg) in [(8u32, 32u32, 64 * 1024usize), (32, 32, 64 * 1024)] {

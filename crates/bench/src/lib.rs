@@ -12,6 +12,20 @@ use mha_apps::report::{render_run_summary, Table};
 use mha_sched::{FrozenSchedule, SummaryProbe};
 use mha_simnet::Simulator;
 
+/// Turns on invariant-check mode when `--check` is on the command line:
+/// every simulated run is then audited by an
+/// [`mha_sched::InvariantProbe`] (causality, per-resource capacity, byte
+/// conservation) and panics on any violation. Implemented by setting the
+/// `MHA_CHECK` environment variable, which [`mha_simnet::check_enabled`]
+/// reads once — so each `fig*` binary calls this first thing in `main`,
+/// before constructing a [`Simulator`].
+pub fn apply_check_flag() {
+    if std::env::args().any(|a| a == "--check") {
+        std::env::set_var("MHA_CHECK", "1");
+        eprintln!("[--check: invariant probes active on every simulated run]");
+    }
+}
+
 /// Directory the `fig*` binaries write CSVs into (`results/` at the
 /// workspace root, honoring `MHA_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {

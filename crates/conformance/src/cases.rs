@@ -1,0 +1,172 @@
+//! Random configuration sampling for the differential oracle.
+//!
+//! Each [`Case`] is a `(family, algorithm, grid, message size)` tuple drawn
+//! so that the algorithm's structural preconditions hold (power-of-two rank
+//! counts for recursive doubling, `groups | ppn` for multi-leader,
+//! single-node grids for MHA-intra, …) — the oracle tests *correct*
+//! configurations; rejection paths are covered by `tests/failure_modes.rs`.
+
+use mha_collectives::mha::{InterAlgo, MhaInterConfig, Offload};
+use mha_collectives::AllgatherAlgo;
+use mha_sched::ProcGrid;
+use rand::{rngs::StdRng, Rng};
+
+/// The three collective families the oracle must cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Flat (single-level) algorithms: ring, recursive doubling, Bruck,
+    /// direct spread.
+    Flat,
+    /// Two-level leader-based baselines: single-leader, multi-leader.
+    TwoLevel,
+    /// The paper's multi-HCA aware designs: MHA-intra, MHA-inter.
+    Mha,
+}
+
+impl Family {
+    /// All families, in a fixed order (used for round-robin coverage).
+    pub const ALL: [Family; 3] = [Family::Flat, Family::TwoLevel, Family::Mha];
+
+    /// Dense index into per-family counters.
+    pub fn index(self) -> usize {
+        match self {
+            Family::Flat => 0,
+            Family::TwoLevel => 1,
+            Family::Mha => 2,
+        }
+    }
+}
+
+/// One randomly drawn oracle configuration.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The family the algorithm belongs to.
+    pub family: Family,
+    /// The allgather algorithm under test.
+    pub algo: AllgatherAlgo,
+    /// Process layout.
+    pub grid: ProcGrid,
+    /// Per-rank contribution size in bytes.
+    pub msg: usize,
+}
+
+impl Case {
+    /// A short, greppable description for disagreement reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:?}/{} {}x{} msg={}",
+            self.family,
+            self.algo.name(),
+            self.grid.nodes(),
+            self.grid.ppn(),
+            self.msg
+        )
+    }
+}
+
+const MSGS: [usize; 4] = [64, 256, 1024, 4096];
+const PPNS: [u32; 4] = [1, 2, 4, 8];
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Draws one valid configuration from `family`.
+pub fn sample_case(rng: &mut StdRng, family: Family) -> Case {
+    let msg = pick(rng, &MSGS);
+    let (algo, grid) = match family {
+        Family::Flat => match rng.gen_range(0..4u32) {
+            0 => (
+                AllgatherAlgo::Ring,
+                ProcGrid::new(rng.gen_range(1..=4), pick(rng, &PPNS)),
+            ),
+            1 => (
+                // Power-of-two nodes × power-of-two ppn → power-of-two ranks.
+                AllgatherAlgo::RecursiveDoubling,
+                ProcGrid::new(pick(rng, &[1, 2, 4]), pick(rng, &PPNS)),
+            ),
+            2 => (
+                AllgatherAlgo::Bruck,
+                ProcGrid::new(rng.gen_range(1..=4), pick(rng, &PPNS)),
+            ),
+            _ => (
+                AllgatherAlgo::DirectSpread,
+                ProcGrid::new(rng.gen_range(1..=4), pick(rng, &PPNS)),
+            ),
+        },
+        Family::TwoLevel => {
+            if rng.gen_range(0..2u32) == 0 {
+                (
+                    AllgatherAlgo::SingleLeader,
+                    ProcGrid::new(pick(rng, &[1, 2, 4]), pick(rng, &[2, 4, 8])),
+                )
+            } else {
+                let ppn = pick(rng, &[2u32, 4, 8]);
+                let divisors: Vec<u32> = (1..=ppn).filter(|g| ppn.is_multiple_of(*g)).collect();
+                (
+                    AllgatherAlgo::MultiLeader {
+                        groups: pick(rng, &divisors),
+                    },
+                    ProcGrid::new(rng.gen_range(1..=4), ppn),
+                )
+            }
+        }
+        Family::Mha => {
+            if rng.gen_range(0..2u32) == 0 {
+                let ppn = pick(rng, &[2u32, 4, 8]);
+                let offload = if rng.gen_range(0..2u32) == 0 {
+                    Offload::Auto
+                } else {
+                    Offload::Fixed(rng.gen_range(0..ppn))
+                };
+                (
+                    AllgatherAlgo::MhaIntra { offload },
+                    ProcGrid::single_node(ppn),
+                )
+            } else {
+                let inter = if rng.gen_range(0..2u32) == 0 {
+                    InterAlgo::Ring
+                } else {
+                    InterAlgo::RecursiveDoubling
+                };
+                let nodes = match inter {
+                    InterAlgo::Ring => rng.gen_range(2..=4),
+                    InterAlgo::RecursiveDoubling => pick(rng, &[2u32, 4]),
+                };
+                (
+                    AllgatherAlgo::MhaInter(MhaInterConfig {
+                        inter,
+                        offload: Offload::Auto,
+                        overlap: rng.gen_range(0..2u32) == 0,
+                    }),
+                    ProcGrid::new(nodes, pick(rng, &[2u32, 4, 8])),
+                )
+            }
+        }
+    };
+    Case {
+        family,
+        algo,
+        grid,
+        msg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mha_simnet::ClusterSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_cases_always_build() {
+        let spec = ClusterSpec::thor();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..120 {
+            let case = sample_case(&mut rng, Family::ALL[i % 3]);
+            case.algo
+                .build(case.grid, case.msg, &spec)
+                .unwrap_or_else(|e| panic!("{} failed to build: {e:?}", case.describe()));
+        }
+    }
+}

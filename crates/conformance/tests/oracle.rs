@@ -1,0 +1,25 @@
+//! The differential-oracle acceptance bar: ≥ 200 random configurations,
+//! all three families, zero disagreements, plus the model envelope.
+
+use mha_conformance::{run_oracle, Family, OracleConfig};
+
+#[test]
+fn oracle_sweep_has_zero_disagreements() {
+    let cfg = OracleConfig::from_env();
+    assert!(cfg.cases >= 200, "acceptance bar requires >= 200 cases");
+    let report = run_oracle(&cfg);
+    assert_eq!(report.cases, cfg.cases);
+    for f in Family::ALL {
+        assert!(
+            report.by_family[f.index()] >= cfg.cases / 4,
+            "{f:?} under-covered: {:?}",
+            report.by_family
+        );
+    }
+    assert!(
+        report.is_clean(),
+        "{} disagreement(s):\n{}",
+        report.disagreements.len(),
+        report.disagreements.join("\n")
+    );
+}

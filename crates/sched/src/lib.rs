@@ -46,6 +46,7 @@ mod builder;
 mod frozen;
 mod grid;
 mod ids;
+pub mod invariant;
 mod op;
 pub mod probe;
 pub mod runtime;
@@ -57,6 +58,7 @@ pub use builder::{RankCursors, ScheduleBuilder};
 pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
 pub use ids::{BufId, NodeId, OpId, RankId};
+pub use invariant::{InvariantProbe, Violation};
 pub use op::{Channel, DType, Op, OpKind, RedOp};
 pub use probe::{
     intersection_length, union_length, JsonlProbe, NullProbe, Probe, ResourceUtil, RunSummary,

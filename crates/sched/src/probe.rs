@@ -49,9 +49,49 @@ pub trait Probe {
         let _ = (op, t);
     }
 
-    /// A fluid flow belonging to `op` was (re)assigned `rate` bytes/s.
-    fn flow_rate(&mut self, op: u32, rate: f64, t: f64) {
-        let _ = (op, rate, t);
+    /// Whether this sink consumes the flow-lifecycle events
+    /// ([`Probe::resource_decl`], [`Probe::flow_begin`], [`Probe::flow_end`]).
+    ///
+    /// Emitting those events costs the interpreter a small allocation per
+    /// flow, so backends skip them unless a sink opts in. [`Probe::flow_rate`]
+    /// is always delivered regardless.
+    fn wants_flows(&self) -> bool {
+        false
+    }
+
+    /// Declares one backend resource before any flow events: dense `index`,
+    /// human-readable `label` (e.g. `tx(n0,h1)`) and `capacity` in bytes/s.
+    /// Emitted after [`Probe::begin_run`], in index order, only when
+    /// [`Probe::wants_flows`] is `true`.
+    fn resource_decl(&mut self, index: u32, label: &str, capacity: f64) {
+        let _ = (index, label, capacity);
+    }
+
+    /// A fluid flow of `op` was created: it will drain `bytes` at up to
+    /// `cap` bytes/s, consuming `weight × rate` of each `(resource, weight)`
+    /// pair while active. Flow indices are recycled after [`Probe::flow_end`].
+    /// Only emitted when [`Probe::wants_flows`] is `true`.
+    fn flow_begin(
+        &mut self,
+        op: u32,
+        flow: u32,
+        resources: &[(u32, f64)],
+        cap: f64,
+        bytes: f64,
+        t: f64,
+    ) {
+        let _ = (op, flow, resources, cap, bytes, t);
+    }
+
+    /// Flow `flow` of `op` drained completely. Only emitted when
+    /// [`Probe::wants_flows`] is `true`.
+    fn flow_end(&mut self, op: u32, flow: u32, t: f64) {
+        let _ = (op, flow, t);
+    }
+
+    /// Fluid flow `flow` belonging to `op` was (re)assigned `rate` bytes/s.
+    fn flow_rate(&mut self, op: u32, flow: u32, rate: f64, t: f64) {
+        let _ = (op, flow, rate, t);
     }
 
     /// The max-min water-filler recomputed a connected component of
@@ -131,10 +171,13 @@ pub fn intersection_length(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 /// ```text
 /// {"ev":"begin","backend":"simnet","schedule":"ring","ops":12,"edges":14}
 /// {"ev":"op","op":0,"kind":"rails","bytes":4096,"step":0,"rank":0,"label":"r0->r4"}
+/// {"ev":"res","res":0,"label":"cpu(r0)","capacity":1.3e10}
 /// {"ev":"ready","op":0,"t":0.0}
 /// {"ev":"start","op":0,"t":1.9e-6}
-/// {"ev":"rate","op":0,"rate":1.55e10,"t":1.9e-6}
+/// {"ev":"flow_begin","op":0,"flow":0,"cap":1.55e10,"bytes":4096.0,"resources":[[4,1.0],[6,1.0]],"t":1.9e-6}
+/// {"ev":"rate","op":0,"flow":0,"rate":1.55e10,"t":1.9e-6}
 /// {"ev":"waterfill","t":1.9e-6,"flows":2}
+/// {"ev":"flow_end","op":0,"flow":0,"t":4.54e-6}
 /// {"ev":"end","op":0,"t":4.54e-6}
 /// {"ev":"resource","label":"tx(n0,h0)","bytes":4096.0,"capacity":1.55e10}
 /// {"ev":"end_run","makespan":4.54e-6}
@@ -229,9 +272,45 @@ impl<W: Write> Probe for JsonlProbe<W> {
         self.line(format!("{{\"ev\":\"end\",\"op\":{op},\"t\":{t:e}}}"));
     }
 
-    fn flow_rate(&mut self, op: u32, rate: f64, t: f64) {
+    fn wants_flows(&self) -> bool {
+        true
+    }
+
+    fn resource_decl(&mut self, index: u32, label: &str, capacity: f64) {
         self.line(format!(
-            "{{\"ev\":\"rate\",\"op\":{op},\"rate\":{rate:e},\"t\":{t:e}}}"
+            "{{\"ev\":\"res\",\"res\":{index},\"label\":\"{}\",\"capacity\":{capacity:e}}}",
+            json_escape(label)
+        ));
+    }
+
+    fn flow_begin(
+        &mut self,
+        op: u32,
+        flow: u32,
+        resources: &[(u32, f64)],
+        cap: f64,
+        bytes: f64,
+        t: f64,
+    ) {
+        let res: Vec<String> = resources
+            .iter()
+            .map(|(r, w)| format!("[{r},{w:e}]"))
+            .collect();
+        self.line(format!(
+            "{{\"ev\":\"flow_begin\",\"op\":{op},\"flow\":{flow},\"cap\":{cap:e},\"bytes\":{bytes:e},\"resources\":[{}],\"t\":{t:e}}}",
+            res.join(",")
+        ));
+    }
+
+    fn flow_end(&mut self, op: u32, flow: u32, t: f64) {
+        self.line(format!(
+            "{{\"ev\":\"flow_end\",\"op\":{op},\"flow\":{flow},\"t\":{t:e}}}"
+        ));
+    }
+
+    fn flow_rate(&mut self, op: u32, flow: u32, rate: f64, t: f64) {
+        self.line(format!(
+            "{{\"ev\":\"rate\",\"op\":{op},\"flow\":{flow},\"rate\":{rate:e},\"t\":{t:e}}}"
         ));
     }
 
@@ -379,7 +458,7 @@ impl Probe for SummaryProbe {
         }
     }
 
-    fn flow_rate(&mut self, _op: u32, _rate: f64, _t: f64) {
+    fn flow_rate(&mut self, _op: u32, _flow: u32, _rate: f64, _t: f64) {
         self.rate_changes += 1;
     }
 
@@ -423,9 +502,32 @@ impl<A: Probe + ?Sized, B: Probe + ?Sized> Probe for Tee<'_, A, B> {
         self.0.op_end(op, t);
         self.1.op_end(op, t);
     }
-    fn flow_rate(&mut self, op: u32, rate: f64, t: f64) {
-        self.0.flow_rate(op, rate, t);
-        self.1.flow_rate(op, rate, t);
+    fn wants_flows(&self) -> bool {
+        self.0.wants_flows() || self.1.wants_flows()
+    }
+    fn resource_decl(&mut self, index: u32, label: &str, capacity: f64) {
+        self.0.resource_decl(index, label, capacity);
+        self.1.resource_decl(index, label, capacity);
+    }
+    fn flow_begin(
+        &mut self,
+        op: u32,
+        flow: u32,
+        resources: &[(u32, f64)],
+        cap: f64,
+        bytes: f64,
+        t: f64,
+    ) {
+        self.0.flow_begin(op, flow, resources, cap, bytes, t);
+        self.1.flow_begin(op, flow, resources, cap, bytes, t);
+    }
+    fn flow_end(&mut self, op: u32, flow: u32, t: f64) {
+        self.0.flow_end(op, flow, t);
+        self.1.flow_end(op, flow, t);
+    }
+    fn flow_rate(&mut self, op: u32, flow: u32, rate: f64, t: f64) {
+        self.0.flow_rate(op, flow, rate, t);
+        self.1.flow_rate(op, flow, rate, t);
     }
     fn waterfill(&mut self, t: f64, flows: usize) {
         self.0.waterfill(t, flows);
@@ -494,7 +596,7 @@ mod tests {
         p.op_end(0, 2.0); // net busy [0,2)
         p.op_start(1, 1.0);
         p.op_end(1, 3.0); // cpu busy [1,3)
-        p.flow_rate(0, 1e9, 0.0);
+        p.flow_rate(0, 0, 1e9, 0.0);
         p.waterfill(0.0, 1);
         p.resource_sample("tx(n0,h0)", 64.0, 32.0);
         p.end_run(3.0);
@@ -527,7 +629,7 @@ mod tests {
         p.begin_run(&fs, "simnet");
         p.op_ready(0, 0.0);
         p.op_start(0, 1e-6);
-        p.flow_rate(0, 2.5e10, 1e-6);
+        p.flow_rate(0, 0, 2.5e10, 1e-6);
         p.waterfill(1e-6, 1);
         p.op_end(0, 2e-6);
         p.resource_sample("tx(n0,h0)", 64.0, 2.5e10);
@@ -566,7 +668,7 @@ mod tests {
             tee.op_end(0, 1.0);
             tee.op_start(1, 1.0);
             tee.op_end(1, 2.0);
-            tee.flow_rate(0, 1.0, 0.0);
+            tee.flow_rate(0, 0, 1.0, 0.0);
             tee.waterfill(0.0, 2);
             tee.resource_sample("cpu(r0)", 1.0, 1.0);
             tee.end_run(2.0);

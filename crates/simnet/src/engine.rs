@@ -287,11 +287,19 @@ impl EngineState {
                 assert!(new_rate > 0.0, "flow starved by water-filling");
                 let t_fin = now + f.remaining / new_rate;
                 let (flow, version, op) = (fi, f.version, f.op);
-                probe.flow_rate(op, new_rate, now);
+                probe.flow_rate(op, flow, new_rate, now);
                 self.push_event(t_fin, Ev::Finish { flow, version });
             }
         }
     }
+}
+
+/// Whether invariant-check mode is on: `MHA_CHECK` set to anything other
+/// than empty or `0`. Read once per process — the `fig*` binaries set the
+/// variable (via `--check`) before constructing any [`Simulator`].
+pub fn check_enabled() -> bool {
+    static CHECK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CHECK.get_or_init(|| std::env::var("MHA_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"))
 }
 
 /// A discrete-event simulator for one cluster specification.
@@ -332,7 +340,28 @@ impl Simulator {
     /// Simulates `sch`, narrating the run through `probe` (see
     /// [`mha_sched::probe`] for the available sinks). The returned result
     /// never carries a [`Trace`]; use [`Simulator::run_with`] for that.
+    ///
+    /// When check mode is on (the `MHA_CHECK` environment variable is set
+    /// to anything but `0`/empty — e.g. via a `fig*` binary's `--check`
+    /// flag), every run is additionally audited by an
+    /// [`mha_sched::InvariantProbe`] teed alongside `probe`, and any
+    /// causality/capacity/conservation violation panics with a report.
     pub fn run_probed(
+        &self,
+        sch: &FrozenSchedule,
+        probe: &mut dyn Probe,
+    ) -> Result<SimResult, SimError> {
+        if check_enabled() {
+            let mut audit = mha_sched::InvariantProbe::new();
+            let r = self.run_probed_inner(sch, &mut mha_sched::Tee(probe, &mut audit))?;
+            audit.assert_clean();
+            Ok(r)
+        } else {
+            self.run_probed_inner(sch, probe)
+        }
+    }
+
+    fn run_probed_inner(
         &self,
         sch: &FrozenSchedule,
         probe: &mut dyn Probe,
@@ -348,6 +377,13 @@ impl Simulator {
         let rmap = ResourceMap::new(&grid, &self.spec);
         let n_ops = sch.n_ops();
         probe.begin_run(sch, "simnet");
+        let narrate_flows = probe.wants_flows();
+        if narrate_flows {
+            for i in 0..rmap.len() {
+                let r = ResourceId(i as u32);
+                probe.resource_decl(i as u32, &rmap.label(r), rmap.capacity(r));
+            }
+        }
 
         let mut ready = ReadySet::new(sch);
 
@@ -427,13 +463,19 @@ impl Simulator {
                             st.res_flows[r.index()].push(fi as u32);
                             seeds.push(r);
                         }
+                        if narrate_flows {
+                            let f = &st.flows[fi];
+                            let res: Vec<(u32, f64)> =
+                                f.resources.iter().map(|&(r, w)| (r.0, w)).collect();
+                            probe.flow_begin(op, fi as u32, &res, f.cap, f.remaining, time);
+                        }
                         if no_resources {
                             // Pure compute never contends: run at cap now.
                             let f = &mut st.flows[fi];
                             f.rate = f.cap;
                             let t_fin = time + f.remaining / f.rate;
                             let (version, rate) = (f.version, f.rate);
-                            probe.flow_rate(op, rate, time);
+                            probe.flow_rate(op, fi as u32, rate, time);
                             st.push_event(
                                 t_fin,
                                 Ev::Finish {
@@ -483,6 +525,9 @@ impl Simulator {
                         for &(r, w) in &weighted {
                             st.resource_bytes[r.index()] += moved * w;
                         }
+                    }
+                    if narrate_flows {
+                        probe.flow_end(flow_op, flow, time);
                     }
                     let seeds: Vec<ResourceId> = weighted.iter().map(|&(r, _)| r).collect();
                     for &r in &seeds {
@@ -1204,6 +1249,48 @@ mod tests {
             (t - expect).abs() < 1e-9 * expect.max(1.0),
             "{t} vs {expect}"
         );
+    }
+
+    #[test]
+    fn invariant_probe_passes_on_contended_schedules() {
+        // Heavy sharing: many CMA transfers into one rank, plus striped
+        // rail traffic — the hardest case for the capacity/conservation
+        // audit, since rates change repeatedly mid-flight.
+        let grid = ProcGrid::new(2, 4);
+        let len = 1 << 20;
+        let mut b = ScheduleBuilder::new(grid, "audit");
+        let d = b.private_buf(RankId(3), 3 * len, "d");
+        for r in 0..3u32 {
+            let s = b.private_buf(RankId(r), len, "s");
+            b.transfer(
+                RankId(r),
+                RankId(3),
+                Loc::new(s, 0),
+                Loc::new(d, (r as usize) * len),
+                len,
+                Channel::Cma,
+                &[],
+                0,
+            );
+        }
+        for r in 0..4u32 {
+            let s = b.private_buf(RankId(r), len, "rs");
+            let rd = b.private_buf(RankId(r + 4), len, "rd");
+            b.transfer(
+                RankId(r),
+                RankId(r + 4),
+                Loc::new(s, 0),
+                Loc::new(rd, 0),
+                len,
+                Channel::AllRails,
+                &[],
+                1,
+            );
+        }
+        let sch = b.finish().freeze();
+        let mut audit = mha_sched::InvariantProbe::new();
+        sim().run_probed(&sch, &mut audit).unwrap();
+        assert!(audit.is_clean(), "{:?}", audit.violations());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod topology;
 mod trace;
 mod waterfill;
 
-pub use engine::{SimConfig, SimError, SimResult, Simulator};
+pub use engine::{check_enabled, SimConfig, SimError, SimResult, Simulator};
 pub use metrics::{kind_breakdown, phase_breakdown, KindBreakdown};
 pub use microbench::{pt2pt_bandwidth_mbps, pt2pt_latency_us, size_sweep, Placement};
 pub use numa::NumaSpec;

@@ -15,6 +15,7 @@
 
 pub use mha_apps as apps;
 pub use mha_collectives as collectives;
+pub use mha_conformance as conformance;
 pub use mha_exec as exec;
 pub use mha_model as model;
 pub use mha_sched as sched;

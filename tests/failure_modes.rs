@@ -3,7 +3,8 @@
 
 use mha::collectives::mha::{build_mha_inter, build_mha_intra, InterAlgo, MhaInterConfig, Offload};
 use mha::collectives::{build_ring_allreduce, AllgatherAlgo, AllgatherPhase, BuildError};
-use mha::sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder};
+use mha::exec::ExecError;
+use mha::sched::{Channel, Loc, ProcGrid, RankId, ScheduleBuilder, ValidateError};
 use mha::simnet::{ClusterSpec, SimError, Simulator};
 
 #[test]
@@ -98,7 +99,11 @@ fn simulator_rejects_overloaded_nodes_and_bad_rails() {
     );
     assert!(matches!(
         sim.run(&b.finish().freeze()),
-        Err(SimError::InvalidSchedule(_))
+        Err(SimError::InvalidSchedule(ValidateError::RailOutOfRange {
+            rail: 2,
+            rails: 2,
+            ..
+        }))
     ));
 }
 
@@ -112,7 +117,10 @@ fn simulator_rejects_implausible_cluster_specs() {
     ));
     let mut spec = ClusterSpec::thor();
     spec.rail_alpha = -1e-6;
-    assert!(Simulator::new(spec).is_err());
+    assert!(matches!(
+        Simulator::new(spec),
+        Err(SimError::InvalidSpec(_))
+    ));
 }
 
 #[test]
@@ -135,8 +143,18 @@ fn executors_reject_structurally_broken_schedules() {
     );
     let sch = b.finish().freeze();
     let store = mha::exec::BufferStore::new(&sch);
-    assert!(mha::exec::run_single(&sch, &store).is_err());
-    assert!(mha::exec::run_threaded(&sch, &store, 2).is_err());
+    assert!(matches!(
+        mha::exec::run_single(&sch, &store),
+        Err(ExecError::InvalidSchedule(
+            ValidateError::CmaAcrossNodes { .. }
+        ))
+    ));
+    assert!(matches!(
+        mha::exec::run_threaded(&sch, &store, 2),
+        Err(ExecError::InvalidSchedule(
+            ValidateError::CmaAcrossNodes { .. }
+        ))
+    ));
     // The destination buffer must be untouched.
     assert_eq!(store.read_all(d), vec![0u8; 8]);
 }

@@ -22,6 +22,18 @@ fn golden() -> Vec<(&'static str, f64)> {
         ("fig12/ring_8x32_4096", f64::from_bits(0x3f5ca8fab664b88f)), // 1749.272190 us
         ("fig12/bruck_8x32_4096", f64::from_bits(0x3f61a542613c5e41)), // 2153.997086 us
         ("fig12/mha_8x32_4096", f64::from_bits(0x3f4e4ff3af34a934)), // 925.058352 us
+        (
+            "fig11/mha_intra_1x16_262144",
+            f64::from_bits(0x3f67d19a32d7357b),
+        ), // 2907.563371 us
+        (
+            "fig11/mha_intra_1x16_4194304",
+            f64::from_bits(0x3fa6180840780799),
+        ), // 43152.101392 us
+        ("fig13/ring_16x32_16384", f64::from_bits(0x3f8a2cb47614aa3e)), // 12780.580381 us
+        ("fig13/mha_16x32_16384", f64::from_bits(0x3f7bffc5daeef453)), // 6835.720894 us
+        ("fig14/mha_32x32_4096", f64::from_bits(0x3f6b456d24709764)), // 3329.003495 us
+        ("fig14/mha_32x32_65536", f64::from_bits(0x3faafe1dd5f3f5e9)), // 52720.005386 us
     ]
 }
 
@@ -66,6 +78,39 @@ fn measure() -> Vec<(String, f64)> {
         let built = algo.build(ProcGrid::new(8, 32), 4096, &spec).unwrap();
         rows.push((
             format!("fig12/{name}_8x32_4096"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    for msg in [256 * 1024usize, 4 << 20] {
+        let built = AllgatherAlgo::MhaIntra {
+            offload: Offload::Auto,
+        }
+        .build(ProcGrid::single_node(16), msg, &spec)
+        .unwrap();
+        rows.push((
+            format!("fig11/mha_intra_1x16_{msg}"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    for (name, algo) in [
+        ("ring", AllgatherAlgo::Ring),
+        ("mha", AllgatherAlgo::MhaInter(MhaInterConfig::default())),
+    ] {
+        let built = algo.build(ProcGrid::new(16, 32), 16 * 1024, &spec).unwrap();
+        rows.push((
+            format!("fig13/{name}_16x32_16384"),
+            sim.run(&built.sched).unwrap().makespan,
+        ));
+    }
+
+    for msg in [4096usize, 64 * 1024] {
+        let built = AllgatherAlgo::MhaInter(MhaInterConfig::default())
+            .build(ProcGrid::new(32, 32), msg, &spec)
+            .unwrap();
+        rows.push((
+            format!("fig14/mha_32x32_{msg}"),
             sim.run(&built.sched).unwrap().makespan,
         ));
     }
