@@ -1,0 +1,72 @@
+//! Ablation: graceful degradation under rail failures. Sweeps `k` rails
+//! failing *mid-run* (at 2% of the fault-free makespan, while the rail
+//! traffic is in flight) on an 8-rail cluster and compares two strategies
+//! against the α–β model evaluated at `H − k` rails:
+//!
+//! * `oblivious`: the fault-oblivious schedule — `AllRails` flows already
+//!   in flight on a dying rail stall, then re-issue on a survivor after
+//!   the retry timeout; flows started after the fault resolve against the
+//!   surviving set automatically;
+//! * `aware`: the failure-aware build whose leader exchanges are re-tiled
+//!   over the surviving set up front (its intra-node offload traffic is
+//!   still `AllRails`, so mid-run faults cost both strategies the same
+//!   in-flight stalls);
+//! * `model`: `T(H − k)` — the ideal a degraded run should track (the
+//!   conformance bar requires staying within 2x of it).
+
+use mha_apps::report::Table;
+use mha_collectives::mha::{build_mha_inter, build_mha_inter_degraded, MhaInterConfig};
+use mha_model::{mha_inter_latency, ModelParams, Phase2};
+use mha_sched::ProcGrid;
+use mha_simnet::{ClusterSpec, FaultEvent, FaultKind, FaultSpec, Simulator, DEFAULT_RETRY_TIMEOUT};
+
+fn main() {
+    mha_bench::apply_check_flag();
+    let rails = 8u8;
+    let grid = ProcGrid::new(4, 4);
+    let msg = 256 * 1024;
+    let spec = ClusterSpec::thor_with_rails(rails);
+    let cfg = MhaInterConfig::default();
+
+    let mut table = Table::new(
+        "Ablation: MHA-inter latency (us), k of 8 rails fail mid-run, 4 nodes x 4 PPN, 256 KB",
+        "k_down",
+        vec![
+            "oblivious_us".into(),
+            "aware_us".into(),
+            "model_us".into(),
+            "aware_vs_model".into(),
+        ],
+    );
+
+    let oblivious = build_mha_inter(grid, msg, cfg, &spec).unwrap();
+    let healthy = Simulator::new(spec.clone()).unwrap();
+    let t_fault = 0.02 * healthy.run(&oblivious.sched).unwrap().makespan;
+
+    for k in 0..rails {
+        let down: Vec<u8> = (0..k).collect();
+        let mut faults = FaultSpec::new(DEFAULT_RETRY_TIMEOUT);
+        for &r in &down {
+            faults = faults.with_event(FaultEvent {
+                time: t_fault,
+                rail: r,
+                node: None,
+                kind: FaultKind::Down,
+            });
+        }
+        let sim = Simulator::with_faults(spec.clone(), faults).unwrap();
+
+        let aware = build_mha_inter_degraded(grid, msg, cfg, &spec, &down).unwrap();
+        let t_obl = sim.run(&oblivious.sched).unwrap().latency_us();
+        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
+
+        let p = ModelParams::from_spec(&ClusterSpec::thor_with_rails(rails - k));
+        let t_model = mha_inter_latency(&p, grid.nodes(), grid.ppn(), msg, Phase2::Ring) * 1e6;
+
+        table.push(
+            k.to_string(),
+            vec![t_obl, t_aware, t_model, t_aware / t_model],
+        );
+    }
+    mha_bench::emit(&table, "ablate_faults");
+}

@@ -15,13 +15,13 @@ use mha_simnet::Simulator;
 /// Turns on invariant-check mode when `--check` is on the command line:
 /// every simulated run is then audited by an
 /// [`mha_sched::InvariantProbe`] (causality, per-resource capacity, byte
-/// conservation) and panics on any violation. Implemented by setting the
-/// `MHA_CHECK` environment variable, which [`mha_simnet::check_enabled`]
-/// reads once — so each `fig*` binary calls this first thing in `main`,
-/// before constructing a [`Simulator`].
+/// conservation) and panics on any violation. Implemented through
+/// [`mha_simnet::set_check_enabled`] — a thread-safe programmatic override
+/// of the `MHA_CHECK` environment variable, so it works regardless of when
+/// the env cache was first read.
 pub fn apply_check_flag() {
     if std::env::args().any(|a| a == "--check") {
-        std::env::set_var("MHA_CHECK", "1");
+        mha_simnet::set_check_enabled(Some(true));
         eprintln!("[--check: invariant probes active on every simulated run]");
     }
 }

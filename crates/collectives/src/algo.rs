@@ -111,6 +111,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_message_builds_a_valid_empty_schedule_everywhere() {
+        // msg = 0 used to panic (or emit zero-length transfers that fail
+        // validation) in several builders; every algorithm must now produce
+        // a valid, executable no-op schedule.
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(2, 4);
+        let algos = [
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::RecursiveDoubling,
+            AllgatherAlgo::Bruck,
+            AllgatherAlgo::DirectSpread,
+            AllgatherAlgo::SingleLeader,
+            AllgatherAlgo::MultiLeader { groups: 2 },
+            AllgatherAlgo::MhaInter(MhaInterConfig::default()),
+        ];
+        for algo in algos {
+            let built = algo.build(grid, 0, &spec).unwrap();
+            assert_allgather_correct(&built);
+            assert!(
+                built
+                    .sched
+                    .ops()
+                    .iter()
+                    .all(|op| matches!(op.kind, mha_sched::OpKind::Compute { flops: 0, .. })),
+                "{}: msg=0 should emit only zero-flop markers",
+                algo.name()
+            );
+        }
+        let built = AllgatherAlgo::MhaIntra {
+            offload: Offload::Auto,
+        }
+        .build(ProcGrid::single_node(4), 0, &spec)
+        .unwrap();
+        assert_allgather_correct(&built);
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names: Vec<String> = [
             AllgatherAlgo::Ring,

@@ -49,6 +49,11 @@ pub fn build_ring_allreduce(
         AllgatherPhase::MhaInter(_) => "ring-allreduce(mha)",
     };
     let mut ctx = Ctx::for_allreduce(grid, chunk, name);
+    if ctx.is_degenerate() {
+        // Allreduce over zero elements is a no-op — every rank's (empty)
+        // vector is already "reduced".
+        return Ok(ctx.finish_degenerate());
+    }
     let grid = ctx.grid();
 
     // Working state lives in recv: start with recv = send.
@@ -219,6 +224,17 @@ mod tests {
         let t_flat = sim.run(&flat.sched).unwrap().latency_us();
         let t_mha = sim.run(&mha.sched).unwrap().latency_us();
         assert!(t_mha < t_flat, "mha {t_mha} vs flat {t_flat}");
+    }
+
+    #[test]
+    fn zero_element_allreduce_is_a_valid_no_op() {
+        for phase in [
+            AllgatherPhase::FlatRing,
+            AllgatherPhase::MhaInter(MhaInterConfig::default()),
+        ] {
+            let built = build_ring_allreduce(ProcGrid::new(2, 2), 0, phase, &thor()).unwrap();
+            assert_allreduce_correct(&built, 0);
+        }
     }
 
     #[test]

@@ -40,9 +40,11 @@ pub(crate) struct Ctx {
 }
 
 impl Ctx {
-    /// Declares the standard Allgather buffers for `grid`.
+    /// Declares the standard Allgather buffers for `grid`. A `msg` of zero
+    /// is legal (MPI_Allgather with count 0 is a no-op); builders must
+    /// detect it via [`Ctx::is_degenerate`] and finish with
+    /// [`Ctx::finish_degenerate`] instead of emitting zero-length transfers.
     pub fn new(grid: ProcGrid, msg: usize, name: impl Into<String>) -> Self {
-        assert!(msg > 0, "message size must be positive");
         let mut b = ScheduleBuilder::new(grid, name);
         let nranks = grid.nranks();
         let send = grid
@@ -70,7 +72,6 @@ impl Ctx {
     /// contribution; callers mark readiness via [`Ctx::set_ready`] before
     /// emitting the Allgather phase.
     pub fn for_allreduce(grid: ProcGrid, chunk: usize, name: impl Into<String>) -> Self {
-        assert!(chunk > 0, "chunk size must be positive");
         let mut b = ScheduleBuilder::new(grid, name);
         let nranks = grid.nranks();
         let total = nranks as usize * chunk;
@@ -171,6 +172,35 @@ impl Ctx {
             .collect()
     }
 
+    /// Whether the collective moves zero bytes (`msg == 0`).
+    pub fn is_degenerate(&self) -> bool {
+        self.msg == 0
+    }
+
+    /// Emits the zero-byte collective body: one zero-flop marker per rank
+    /// (structural validation rejects zero-length transfers and copies, so
+    /// nothing else may be emitted). The result validates, executes, and
+    /// trivially satisfies the Allgather postcondition.
+    pub fn emit_degenerate(&mut self) {
+        debug_assert!(self.is_degenerate());
+        for r in self.grid().ranks() {
+            let deps = self.cur.deps_of(r);
+            let op = self.b.push(
+                mha_sched::OpKind::Compute { actor: r, flops: 0 },
+                &deps,
+                0,
+                "empty",
+            );
+            self.cur.advance(r, op);
+        }
+    }
+
+    /// [`Ctx::emit_degenerate`] + [`Ctx::finish`] in one call.
+    pub fn finish_degenerate(mut self) -> Built {
+        self.emit_degenerate();
+        self.finish()
+    }
+
     /// Finishes construction.
     pub fn finish(self) -> Built {
         Built {
@@ -261,8 +291,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "message size must be positive")]
-    fn zero_message_rejected() {
-        Ctx::new(ProcGrid::new(1, 2), 0, "t");
+    fn zero_message_builds_a_degenerate_schedule() {
+        let grid = ProcGrid::new(2, 2);
+        let ctx = Ctx::new(grid, 0, "t");
+        assert!(ctx.is_degenerate());
+        let built = ctx.finish_degenerate();
+        assert_eq!(built.msg, 0);
+        assert_eq!(built.sched.ops().len(), 4);
+        mha_sched::validate(&built.sched, None).unwrap();
+        for op in built.sched.ops() {
+            assert!(matches!(
+                op.kind,
+                mha_sched::OpKind::Compute { flops: 0, .. }
+            ));
+        }
     }
 }

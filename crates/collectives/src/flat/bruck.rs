@@ -14,6 +14,9 @@ use crate::ctx::{Built, Ctx};
 pub fn build_bruck(grid: ProcGrid, msg: usize) -> Built {
     let r = grid.nranks();
     let mut ctx = Ctx::new(grid, msg, "flat-bruck");
+    if ctx.is_degenerate() {
+        return ctx.finish_degenerate();
+    }
 
     // Per-rank rotated staging buffer: slot j holds block (rank + j) mod N.
     let tmp: Vec<_> = (0..r)

@@ -15,6 +15,9 @@ use crate::ctx::{Built, Ctx};
 pub fn build_direct_spread(grid: ProcGrid, msg: usize) -> Built {
     let r = grid.nranks();
     let mut ctx = Ctx::new(grid, msg, "flat-direct-spread");
+    if ctx.is_degenerate() {
+        return ctx.finish_degenerate();
+    }
     ctx.self_copies_all(0);
     for i in 1..r {
         for dst in 0..r {

@@ -25,6 +25,9 @@ pub fn build_recursive_doubling(grid: ProcGrid, msg: usize) -> Result<Built, Bui
         });
     }
     let mut ctx = Ctx::new(grid, msg, "flat-recursive-doubling");
+    if ctx.is_degenerate() {
+        return Ok(ctx.finish_degenerate());
+    }
     ctx.self_copies_all(0);
     let steps = r.trailing_zeros();
     for k in 0..steps {

@@ -18,9 +18,10 @@
 //! chunks starve it (Figure 7) — both fall out of the dependency structure
 //! here, nothing is hard-coded.
 
-use mha_sched::{BufId, Channel, Loc, OpId, ProcGrid};
+use mha_sched::{BufId, Channel, Loc, OpId, OpKind, ProcGrid, RailSet, RankId};
 use mha_simnet::ClusterSpec;
 
+use crate::chunks::chunk_bounds;
 use crate::ctx::{BuildError, Built, Ctx};
 use crate::mha::intra::intra_into;
 use crate::mha::offload::{resolve_offload, Offload};
@@ -93,12 +94,121 @@ pub fn build_mha_inter(
     Ok(ctx.finish())
 }
 
+/// Failure-aware variant of [`build_mha_inter`]: phase-2 leader exchanges
+/// resolve `Channel::AllRails` against the surviving-rail set, re-tiling
+/// each node-block stripe over the `H − k` rails not listed in
+/// `down_rails`. With `down_rails` empty the schedule is byte-identical to
+/// [`build_mha_inter`].
+///
+/// # Errors
+///
+/// Same as [`build_mha_inter`].
+pub fn build_mha_inter_degraded(
+    grid: ProcGrid,
+    msg: usize,
+    cfg: MhaInterConfig,
+    spec: &ClusterSpec,
+    down_rails: &[u8],
+) -> Result<Built, BuildError> {
+    let rails = RailSet::excluding(spec.rails, down_rails);
+    let d = resolve_offload(cfg.offload, spec, grid.ppn(), msg);
+    let name = format!(
+        "mha-inter-{}(d={d}{},rails={}/{})",
+        match cfg.inter {
+            InterAlgo::Ring => "ring",
+            InterAlgo::RecursiveDoubling => "rd",
+        },
+        if cfg.overlap { "" } else { ",seq" },
+        rails.len(),
+        rails.total(),
+    );
+    let mut ctx = Ctx::new(grid, msg, name);
+    emit_mha_inter_with_rails(&mut ctx, cfg, spec, &rails)?;
+    Ok(ctx.finish())
+}
+
+/// One phase-2 leader-to-leader chunk transfer, resolved against the
+/// surviving-rail set. With a full set this *is* the fault-oblivious
+/// `AllRails` transfer. Degraded, the chunk is re-tiled into per-rail
+/// stripes over the survivors (small chunks are pinned round-robin to one
+/// survivor, mirroring the pt2pt layer's policy below the stripe
+/// threshold), joined by a zero-flop marker at the receiving leader so
+/// downstream deps see one op.
+#[allow(clippy::too_many_arguments)]
+fn leader_chunk_transfer(
+    ctx: &mut Ctx,
+    rails: &RailSet,
+    spec: &ClusterSpec,
+    rr: &mut usize,
+    lsrc: RankId,
+    ldst: RankId,
+    src: Loc,
+    dst: Loc,
+    len: usize,
+    deps: &[OpId],
+    step: u32,
+) -> OpId {
+    if rails.is_full() {
+        return ctx
+            .b
+            .transfer(lsrc, ldst, src, dst, len, Channel::AllRails, deps, step);
+    }
+    let k = rails.len();
+    if !spec.stripes(len) {
+        let h = rails.rails()[*rr % k];
+        *rr += 1;
+        return ctx
+            .b
+            .transfer(lsrc, ldst, src, dst, len, Channel::Rail(h), deps, step);
+    }
+    let mut parts: Vec<OpId> = Vec::with_capacity(k);
+    for (i, &h) in rails.rails().iter().enumerate() {
+        let (lo, hi) = chunk_bounds(len, k, i);
+        if hi == lo {
+            continue;
+        }
+        let t = ctx.b.transfer(
+            lsrc,
+            ldst,
+            Loc::new(src.buf, src.offset + lo),
+            Loc::new(dst.buf, dst.offset + lo),
+            hi - lo,
+            Channel::Rail(h),
+            deps,
+            step,
+        );
+        parts.push(t);
+    }
+    if parts.len() == 1 {
+        return parts[0];
+    }
+    ctx.b.push(
+        OpKind::Compute {
+            actor: ldst,
+            flops: 0,
+        },
+        &parts,
+        step,
+        "stripe-join",
+    )
+}
+
 /// Emits the hierarchical exchange into an existing context (also used as
 /// the Allgather phase of the MHA-accelerated Ring-Allreduce).
 pub(crate) fn emit_mha_inter(
     ctx: &mut Ctx,
     cfg: MhaInterConfig,
     spec: &ClusterSpec,
+) -> Result<(), BuildError> {
+    emit_mha_inter_with_rails(ctx, cfg, spec, &RailSet::full(spec.rails))
+}
+
+/// [`emit_mha_inter`] generalized over the surviving-rail set.
+pub(crate) fn emit_mha_inter_with_rails(
+    ctx: &mut Ctx,
+    cfg: MhaInterConfig,
+    spec: &ClusterSpec,
+    rails: &RailSet,
 ) -> Result<(), BuildError> {
     let grid = ctx.grid();
     let msg = ctx.msg;
@@ -109,6 +219,10 @@ pub(crate) fn emit_mha_inter(
             what: "nodes",
             got: n,
         });
+    }
+    if ctx.is_degenerate() {
+        ctx.emit_degenerate();
+        return Ok(());
     }
     let d = resolve_offload(cfg.offload, spec, l, msg);
 
@@ -129,6 +243,7 @@ pub(crate) fn emit_mha_inter(
     let chunk_loc = |buf: BufId, start_block: u32| Loc::new(buf, start_block as usize * msg);
 
     let mut arrivals: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
+    let mut rr = 0usize; // round-robin cursor for degraded small chunks
     match cfg.inter {
         InterAlgo::Ring => {
             // avail[nd]: ops guaranteeing the block node nd sends this step.
@@ -143,13 +258,16 @@ pub(crate) fn emit_mha_inter(
                     let mut deps = avail[sender as usize].clone();
                     deps.extend(prev_recv[nd as usize]);
                     let (lsrc, ldst) = (leader(sender), leader(nd));
-                    let t = ctx.b.transfer(
+                    let t = leader_chunk_transfer(
+                        ctx,
+                        rails,
+                        spec,
+                        &mut rr,
                         lsrc,
                         ldst,
                         chunk_loc(ctx.recv[lsrc.index()], block_node * l),
                         chunk_loc(ctx.recv[ldst.index()], block_node * l),
                         node_block,
-                        Channel::AllRails,
                         &deps,
                         1000 + s,
                     );
@@ -178,13 +296,16 @@ pub(crate) fn emit_mha_inter(
                     let mut deps = net_cur[partner as usize].clone();
                     deps.extend(net_cur[nd as usize].iter().copied());
                     let (lsrc, ldst) = (leader(partner), leader(nd));
-                    let t = ctx.b.transfer(
+                    let t = leader_chunk_transfer(
+                        ctx,
+                        rails,
+                        spec,
+                        &mut rr,
                         lsrc,
                         ldst,
                         chunk_loc(ctx.recv[lsrc.index()], pbase * l),
                         chunk_loc(ctx.recv[ldst.index()], pbase * l),
                         dist as usize * node_block,
-                        Channel::AllRails,
                         &deps,
                         1000 + k,
                     );
@@ -399,5 +520,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn degraded_with_no_failures_is_byte_identical() {
+        // Only the schedule name differs; the op stream must not.
+        for inter in [InterAlgo::Ring, InterAlgo::RecursiveDoubling] {
+            for msg in [16usize, 64 * 1024] {
+                let grid = ProcGrid::new(4, 2);
+                let base = build_mha_inter(grid, msg, cfg(inter, true), &thor()).unwrap();
+                let deg =
+                    build_mha_inter_degraded(grid, msg, cfg(inter, true), &thor(), &[]).unwrap();
+                assert_eq!(
+                    format!("{:?}", base.sched.ops()),
+                    format!("{:?}", deg.sched.ops()),
+                    "{inter:?}/{msg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_build_avoids_down_rails_and_stays_correct() {
+        for inter in [InterAlgo::Ring, InterAlgo::RecursiveDoubling] {
+            for msg in [16usize, 64 * 1024] {
+                let built = build_mha_inter_degraded(
+                    ProcGrid::new(4, 2),
+                    msg,
+                    MhaInterConfig {
+                        inter,
+                        offload: Offload::None,
+                        overlap: true,
+                    },
+                    &thor(),
+                    &[0],
+                )
+                .unwrap();
+                assert_allgather_correct(&built);
+                for op in built.sched.ops() {
+                    if let mha_sched::OpKind::Transfer {
+                        src_rank,
+                        dst_rank,
+                        channel,
+                        ..
+                    } = &op.kind
+                    {
+                        if !built.sched.grid().same_node(*src_rank, *dst_rank) {
+                            assert!(
+                                matches!(channel, Channel::Rail(h) if *h != 0),
+                                "inter-node op {:?} rides {channel:?} with rail 0 down",
+                                op.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_with_every_rail_down_falls_back_to_the_full_set() {
+        // The builder has to route the traffic somewhere; total outage is
+        // the simulator's stall/retry problem, not the scheduler's.
+        let grid = ProcGrid::new(2, 2);
+        let base = build_mha_inter(grid, 32, cfg(InterAlgo::Ring, true), &thor()).unwrap();
+        let deg = build_mha_inter_degraded(grid, 32, cfg(InterAlgo::Ring, true), &thor(), &[0, 1])
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", base.sched.ops()),
+            format!("{:?}", deg.sched.ops())
+        );
     }
 }

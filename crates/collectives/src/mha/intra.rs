@@ -85,6 +85,9 @@ pub fn build_mha_intra(
     }
     let d = resolve_offload(policy, spec, grid.ppn(), msg);
     let mut ctx = Ctx::new(grid, msg, format!("mha-intra(d={d})"));
+    if ctx.is_degenerate() {
+        return Ok(ctx.finish_degenerate());
+    }
     intra_into(&mut ctx, NodeId(0), d, 0);
     Ok(ctx.finish())
 }

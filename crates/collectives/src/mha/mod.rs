@@ -6,7 +6,7 @@ mod numa3;
 mod offload;
 
 pub(crate) use inter::emit_mha_inter;
-pub use inter::{build_mha_inter, InterAlgo, MhaInterConfig};
+pub use inter::{build_mha_inter, build_mha_inter_degraded, InterAlgo, MhaInterConfig};
 pub use intra::build_mha_intra;
 pub use numa3::{build_mha_numa3, Numa3Config};
 pub use offload::{optimal_offload, resolve_offload, tune_offload, Offload, OffloadSweep};

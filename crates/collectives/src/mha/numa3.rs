@@ -69,6 +69,9 @@ pub fn build_mha_numa3(
     }
     let ls = l / s; // ranks per socket
     let mut ctx = Ctx::new(grid, msg, "mha-numa3");
+    if ctx.is_degenerate() {
+        return Ok(ctx.finish_degenerate());
+    }
 
     // Socket leader of (node, socket).
     let sleader = |node: NodeId, sck: u32| grid.rank_on(node, sck * ls);

@@ -31,6 +31,9 @@ pub fn build_multi_leader(grid: ProcGrid, msg: usize, groups: u32) -> Result<Bui
     let lg = l / groups; // ranks per group
     let ng = n * groups; // total leaders
     let mut ctx = Ctx::new(grid, msg, format!("twolevel-multi-leader(g={groups})"));
+    if ctx.is_degenerate() {
+        return Ok(ctx.finish_degenerate());
+    }
     let total = grid.nranks() as usize * msg;
 
     // Leader of global group `gg` (node gg / groups, group gg % groups).

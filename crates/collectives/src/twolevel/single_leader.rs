@@ -30,6 +30,9 @@ pub fn build_single_leader(grid: ProcGrid, msg: usize) -> Result<Built, BuildErr
         });
     }
     let mut ctx = Ctx::new(grid, msg, "twolevel-single-leader");
+    if ctx.is_degenerate() {
+        return Ok(ctx.finish_degenerate());
+    }
     let total = grid.nranks() as usize * msg;
 
     // Per-node shm segment holding the full result layout.

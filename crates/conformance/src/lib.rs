@@ -31,10 +31,15 @@
 
 pub mod cases;
 pub mod coverage;
+pub mod faults;
 pub mod fuzz;
 pub mod oracle;
 
 pub use cases::{sample_case, Case, Family};
 pub use coverage::check_allgather_coverage;
+pub use faults::{
+    check_fault_case, run_fault_oracle, sample_fault_case, FaultCase, FaultOracleConfig,
+    FaultOracleReport,
+};
 pub use fuzz::{judge, seeded_mutants, shrink, FuzzTarget, Mutation, SchedSpec, Verdict};
 pub use oracle::{check_model_envelope, run_oracle, OracleConfig, OracleReport};

@@ -1,0 +1,25 @@
+//! The fault-oracle acceptance bar: ≥ 100 random fault schedules, zero
+//! disagreements — degraded builds stay correct on both executors, faulted
+//! simulation passes the invariant audit, and k-failed-rail latency stays
+//! within the envelope of the α–β model at H − k rails.
+
+use mha_conformance::{run_fault_oracle, FaultOracleConfig};
+
+#[test]
+fn fault_oracle_sweep_has_zero_disagreements() {
+    let cfg = FaultOracleConfig::from_env();
+    assert!(cfg.cases >= 100, "acceptance bar requires >= 100 cases");
+    let report = run_fault_oracle(&cfg);
+    assert_eq!(report.cases, cfg.cases);
+    assert!(
+        report.envelope_checked >= cfg.cases / 4,
+        "too few bandwidth-regime cases reached the envelope check: {}",
+        report.envelope_checked
+    );
+    assert!(
+        report.is_clean(),
+        "{} disagreement(s):\n{}",
+        report.disagreements.len(),
+        report.disagreements.join("\n")
+    );
+}

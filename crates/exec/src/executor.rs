@@ -31,8 +31,17 @@ use crate::memory::BufferStore;
 pub enum ExecError {
     /// The schedule failed structural validation.
     InvalidSchedule(mha_sched::ValidateError),
-    /// A worker thread panicked.
+    /// A worker thread panicked (the panic is contained — it surfaces as
+    /// this error instead of aborting the process or hanging the pool).
     WorkerPanicked,
+    /// The worker pool drained without completing every op — a broken DAG
+    /// or a disconnected worker queue.
+    Stalled {
+        /// Ops that completed.
+        done: usize,
+        /// Ops in the schedule.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -40,6 +49,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
             ExecError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            ExecError::Stalled { done, total } => {
+                write!(f, "threaded execution stalled: {done} of {total} ops ran")
+            }
         }
     }
 }
@@ -187,12 +199,15 @@ fn run_threaded_inner(
     }
     let ready = AtomicReadySet::new(sch);
     let done = AtomicUsize::new(0);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
     let (tx, rx) = channel::unbounded::<usize>();
     for &i in sch.roots() {
         if let Some(p) = probe.as_deref_mut() {
             p.op_ready(i, 0.0);
         }
-        tx.send(i as usize).expect("queue open");
+        // The local `rx` keeps the channel open; a failed send here means
+        // the world is broken in a way the stall check below will report.
+        let _ = tx.send(i as usize);
     }
 
     // Timestamps (nanos + 1; 0 = never ran) are only recorded when a probe
@@ -212,7 +227,7 @@ fn run_threaded_inner(
         for _ in 0..threads {
             let rx = rx.clone();
             let tx = tx.clone();
-            let (ready, done, stamps) = (&ready, &done, &stamps);
+            let (ready, done, poisoned, stamps) = (&ready, &done, &poisoned, &stamps);
             handles.push(scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
                     if i == usize::MAX {
@@ -221,17 +236,31 @@ fn run_threaded_inner(
                     if timing {
                         stamps[i].0.store(nanos_since(t0), Ordering::Relaxed);
                     }
-                    execute_op(&sch.ops()[i].kind, store);
+                    // Contain op panics: poison the run and release every
+                    // worker instead of hanging peers on a queue nobody
+                    // will ever feed again.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute_op(&sch.ops()[i].kind, store)
+                    }));
+                    if r.is_err() {
+                        poisoned.store(true, Ordering::Release);
+                        for _ in 0..threads {
+                            let _ = tx.send(usize::MAX);
+                        }
+                        break;
+                    }
                     if timing {
                         stamps[i].1.store(nanos_since(t0), Ordering::Relaxed);
                     }
                     ready.complete(sch, i as u32, |s| {
-                        tx.send(s as usize).expect("queue open");
+                        // A send can only fail if the channel somehow died;
+                        // the stall check below turns that into an error.
+                        let _ = tx.send(s as usize);
                     });
                     if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
                         // All done: release every worker.
                         for _ in 0..threads {
-                            tx.send(usize::MAX).expect("queue open");
+                            let _ = tx.send(usize::MAX);
                         }
                     }
                 }
@@ -240,14 +269,16 @@ fn run_threaded_inner(
         handles.into_iter().any(|h| h.join().is_err())
     });
 
-    if panicked {
+    if panicked || poisoned.load(Ordering::Acquire) {
         return Err(ExecError::WorkerPanicked);
     }
-    assert_eq!(
-        done.load(Ordering::Acquire),
-        n,
-        "threaded execution stalled (cyclic or broken DAG?)"
-    );
+    let completed = done.load(Ordering::Acquire);
+    if completed != n {
+        return Err(ExecError::Stalled {
+            done: completed,
+            total: n,
+        });
+    }
 
     if let Some(p) = probe {
         // Replay the recorded spans in time order (starts before ends at
@@ -329,6 +360,29 @@ mod tests {
             run_threaded(&sch, &store, threads).unwrap();
             assert_eq!(store.read_all(sch.buffers()[20].id), pattern);
         }
+    }
+
+    #[test]
+    fn panicking_op_surfaces_as_worker_panicked() {
+        // Execute a 6-buffer relay against a store built from a 2-buffer
+        // schedule: the third hop indexes a buffer the store never
+        // allocated and panics inside a worker. The pool must contain
+        // that panic and report it — not abort the process, and not hang
+        // the remaining workers on a queue nobody will feed again.
+        let sch = relay_schedule(5);
+        let tiny = relay_schedule(1);
+        let store = BufferStore::new(&tiny);
+        let err = run_threaded(&sch, &store, 4).unwrap_err();
+        assert!(matches!(err, ExecError::WorkerPanicked), "got {err}");
+    }
+
+    #[test]
+    fn stalled_error_reports_progress() {
+        let err = ExecError::Stalled { done: 3, total: 7 };
+        assert_eq!(
+            err.to_string(),
+            "threaded execution stalled: 3 of 7 ops ran"
+        );
     }
 
     #[test]

@@ -184,6 +184,20 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_cutoff_matches_the_simulator_at_the_boundary() {
+        // The model must flip to rendezvous at exactly len == threshold,
+        // like ClusterSpec::rail_startup, or predictions drift right at
+        // the boundary.
+        let p = p();
+        assert_eq!(p.rail_startup(p.rndv_threshold - 1), p.alpha_h);
+        assert_eq!(p.rail_startup(p.rndv_threshold), p.alpha_h + p.alpha_h_rndv);
+        assert_eq!(
+            p.rail_startup(p.rndv_threshold + 1),
+            p.alpha_h + p.alpha_h_rndv
+        );
+    }
+
+    #[test]
     fn invalid_params_rejected() {
         let mut bad = p();
         bad.h = 0;

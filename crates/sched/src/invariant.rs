@@ -93,6 +93,19 @@ pub enum Violation {
         /// The flow index.
         flow: u32,
     },
+    /// A down resource (capacity 0 after a fault) carried positive flow
+    /// rate over a constant-rate interval — a flow progressed on a dead
+    /// rail.
+    DownResourceActive {
+        /// Dense resource index (see [`Probe::resource_decl`]).
+        resource: u32,
+        /// Resource label, e.g. `tx(n0,h1)`.
+        label: String,
+        /// Aggregate weighted rate observed (bytes/s).
+        load: f64,
+        /// Start of the offending interval (seconds).
+        t: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -132,6 +145,15 @@ impl fmt::Display for Violation {
             Violation::UnfinishedFlow { op, flow } => {
                 write!(f, "conservation: flow {flow} of op {op} still active at end of run")
             }
+            Violation::DownResourceActive {
+                resource,
+                label,
+                load,
+                t,
+            } => write!(
+                f,
+                "fault: down resource {resource} ({label}) carried {load:.6e} B/s from t={t:.9e}s"
+            ),
         }
     }
 }
@@ -266,7 +288,14 @@ impl InvariantProbe {
         let touched = std::mem::take(&mut self.touched);
         for &r in &touched {
             let (load, cap) = (self.load[r as usize], self.caps[r as usize]);
-            if load > cap * (1.0 + REL_TOL) + 1e-3 {
+            if cap == 0.0 && load > 1e-3 {
+                self.record(Violation::DownResourceActive {
+                    resource: r,
+                    label: self.labels[r as usize].clone(),
+                    load,
+                    t,
+                });
+            } else if load > cap * (1.0 + REL_TOL) + 1e-3 {
                 self.record(Violation::Capacity {
                     resource: r,
                     label: self.labels[r as usize].clone(),
@@ -389,6 +418,41 @@ impl Probe for InvariantProbe {
             self.touch(r);
         }
         self.flows[flow as usize].as_mut().unwrap().resources = resources;
+        self.dirty = true;
+    }
+
+    fn resource_capacity(&mut self, res: u32, capacity: f64, t: f64) {
+        self.commit(t);
+        let i = res as usize;
+        if self.caps.len() <= i {
+            self.caps.resize(i + 1, f64::INFINITY);
+            self.labels.resize(i + 1, String::new());
+            self.load.resize(i + 1, 0.0);
+            self.touch_stamp.resize(i + 1, 0);
+        }
+        self.caps[i] = capacity;
+        // Re-audit the resource under its new capacity once time advances.
+        self.touch(res);
+        self.dirty = true;
+    }
+
+    fn flow_resources(&mut self, _op: u32, flow: u32, resources: &[(u32, f64)], t: f64) {
+        self.commit(t);
+        let Some(f) = self.flow_mut(flow) else {
+            return;
+        };
+        f.moved += f.rate * (t - f.last_t);
+        f.last_t = t;
+        let rate = f.rate;
+        let old = std::mem::replace(&mut f.resources, resources.to_vec());
+        for &(r, w) in &old {
+            self.load[r as usize] -= w * rate;
+            self.touch(r);
+        }
+        for &(r, w) in resources {
+            self.load[r as usize] += w * rate;
+            self.touch(r);
+        }
         self.dirty = true;
     }
 
@@ -625,6 +689,70 @@ mod tests {
         assert!(p.wants_flows());
         let drained = p.take_violations();
         assert!(drained.is_empty());
+    }
+
+    #[test]
+    fn progress_on_a_down_resource_is_flagged() {
+        let fs = two_op_chain();
+        let mut p = InvariantProbe::new();
+        p.begin_run(&fs, "test");
+        p.resource_decl(0, "tx(n0,h0)", 10.0);
+        p.op_start(0, 0.0);
+        p.flow_begin(0, 0, &[(0, 1.0)], 10.0, 100.0, 0.0);
+        p.flow_rate(0, 0, 5.0, 0.0);
+        p.resource_capacity(0, 0.0, 1.0); // rail goes down…
+        p.flow_rate(0, 0, 5.0, 2.0); // …but the flow kept its rate
+        assert!(
+            p.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::DownResourceActive { resource: 0, .. })),
+            "{:?}",
+            p.violations()
+        );
+    }
+
+    #[test]
+    fn stalled_flow_on_a_down_resource_is_clean() {
+        let fs = two_op_chain();
+        let mut p = InvariantProbe::new();
+        p.begin_run(&fs, "test");
+        p.resource_decl(0, "tx(n0,h0)", 10.0);
+        p.resource_decl(1, "tx(n0,h1)", 10.0);
+        p.op_start(0, 0.0);
+        p.flow_begin(0, 0, &[(0, 1.0)], 10.0, 10.0, 0.0);
+        p.flow_rate(0, 0, 10.0, 0.0);
+        // Rail down at 0.5 after 5 bytes; flow stalls at the same instant,
+        // then re-issues on rail 1 and drains the remaining 5 bytes.
+        p.flow_rate(0, 0, 0.0, 0.5);
+        p.resource_capacity(0, 0.0, 0.5);
+        p.flow_resources(0, 0, &[(1, 1.0)], 0.7);
+        p.flow_rate(0, 0, 10.0, 0.7);
+        p.flow_end(0, 0, 1.2);
+        p.op_end(0, 1.2);
+        p.op_start(1, 1.2);
+        p.op_end(1, 1.2);
+        p.end_run(1.2);
+        assert!(p.is_clean(), "{:?}", p.violations());
+    }
+
+    #[test]
+    fn derated_resource_keeps_capacity_audit() {
+        let fs = two_op_chain();
+        let mut p = InvariantProbe::new();
+        p.begin_run(&fs, "test");
+        p.resource_decl(0, "tx(n0,h0)", 10.0);
+        p.op_start(0, 0.0);
+        p.flow_begin(0, 0, &[(0, 1.0)], 10.0, 100.0, 0.0);
+        p.flow_rate(0, 0, 8.0, 0.0);
+        p.resource_capacity(0, 5.0, 1.0); // derate to 5 B/s…
+        p.flow_rate(0, 0, 8.0, 2.0); // …while the flow still runs at 8
+        assert!(
+            p.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::Capacity { resource: 0, .. })),
+            "{:?}",
+            p.violations()
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
 pub use ids::{BufId, NodeId, OpId, RankId};
 pub use invariant::{InvariantProbe, Violation};
-pub use op::{Channel, DType, Op, OpKind, RedOp};
+pub use op::{Channel, DType, Op, OpKind, RailSet, RedOp};
 pub use probe::{
     intersection_length, union_length, JsonlProbe, NullProbe, Probe, ResourceUtil, RunSummary,
     SummaryProbe, Tee,

@@ -31,6 +31,73 @@ pub enum Channel {
     AllRails,
 }
 
+/// The rails a failure-aware builder may use: the survivors of a cluster's
+/// `H` rails after excluding those known (or assumed) to be down.
+///
+/// [`Channel::AllRails`] resolves against this set when a builder re-tiles a
+/// striped transfer over `H − k` surviving rails. With every rail up the set
+/// is *full* and resolution is the identity — schedules built against a full
+/// set are byte-identical to fault-oblivious ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RailSet {
+    rails: Vec<u8>,
+    total: u8,
+}
+
+impl RailSet {
+    /// Every rail of a cluster with `total` rails is up.
+    ///
+    /// # Panics
+    ///
+    /// If `total` is zero.
+    pub fn full(total: u8) -> Self {
+        assert!(total > 0, "a cluster has at least one rail");
+        RailSet {
+            rails: (0..total).collect(),
+            total,
+        }
+    }
+
+    /// The survivors after excluding `down` (duplicates and out-of-range
+    /// entries are ignored). If *every* rail is down, falls back to the full
+    /// set — a builder must route somewhere, and the simulator's stall/retry
+    /// machinery models waiting out a total outage.
+    pub fn excluding(total: u8, down: &[u8]) -> Self {
+        assert!(total > 0, "a cluster has at least one rail");
+        let rails: Vec<u8> = (0..total).filter(|r| !down.contains(r)).collect();
+        if rails.is_empty() {
+            RailSet::full(total)
+        } else {
+            RailSet { rails, total }
+        }
+    }
+
+    /// The surviving rail indices, ascending.
+    pub fn rails(&self) -> &[u8] {
+        &self.rails
+    }
+
+    /// Number of surviving rails (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.rails.len()
+    }
+
+    /// Never empty — kept for clippy's `len`-without-`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether every rail of the cluster survives.
+    pub fn is_full(&self) -> bool {
+        self.rails.len() == usize::from(self.total)
+    }
+
+    /// The cluster's total rail count.
+    pub fn total(&self) -> u8 {
+        self.total
+    }
+}
+
 /// The element type of a [`OpKind::Reduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
@@ -197,6 +264,27 @@ mod tests {
 
     fn loc() -> Loc {
         Loc::new(BufId(0), 0)
+    }
+
+    #[test]
+    fn rail_set_excludes_down_rails() {
+        let full = RailSet::full(4);
+        assert!(full.is_full());
+        assert_eq!(full.rails(), &[0, 1, 2, 3]);
+
+        let s = RailSet::excluding(4, &[1, 3]);
+        assert!(!s.is_full());
+        assert_eq!(s.rails(), &[0, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total(), 4);
+
+        // Out-of-range / duplicate exclusions are ignored.
+        let s = RailSet::excluding(2, &[1, 1, 9]);
+        assert_eq!(s.rails(), &[0]);
+
+        // A total outage falls back to the full set.
+        let s = RailSet::excluding(2, &[0, 1]);
+        assert!(s.is_full());
     }
 
     #[test]

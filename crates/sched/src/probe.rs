@@ -94,6 +94,20 @@ pub trait Probe {
         let _ = (op, flow, rate, t);
     }
 
+    /// Resource `res`'s effective capacity changed to `capacity` bytes/s at
+    /// `t` — emitted by the simulator at fault boundaries (rail derate,
+    /// link down/up). `capacity == 0.0` means the resource is down.
+    fn resource_capacity(&mut self, res: u32, capacity: f64, t: f64) {
+        let _ = (res, capacity, t);
+    }
+
+    /// Flow `flow` of `op` was re-issued onto a different resource set at
+    /// `t` (retry after a rail fault). The flow keeps its identity and its
+    /// remaining bytes; only its `(resource, weight)` pairs change.
+    fn flow_resources(&mut self, op: u32, flow: u32, resources: &[(u32, f64)], t: f64) {
+        let _ = (op, flow, resources, t);
+    }
+
     /// The max-min water-filler recomputed a connected component of
     /// `flows` flows.
     fn waterfill(&mut self, t: f64, flows: usize) {
@@ -314,6 +328,23 @@ impl<W: Write> Probe for JsonlProbe<W> {
         ));
     }
 
+    fn resource_capacity(&mut self, res: u32, capacity: f64, t: f64) {
+        self.line(format!(
+            "{{\"ev\":\"capacity\",\"res\":{res},\"capacity\":{capacity:e},\"t\":{t:e}}}"
+        ));
+    }
+
+    fn flow_resources(&mut self, op: u32, flow: u32, resources: &[(u32, f64)], t: f64) {
+        let res: Vec<String> = resources
+            .iter()
+            .map(|(r, w)| format!("[{r},{w:e}]"))
+            .collect();
+        self.line(format!(
+            "{{\"ev\":\"flow_reroute\",\"op\":{op},\"flow\":{flow},\"resources\":[{}],\"t\":{t:e}}}",
+            res.join(",")
+        ));
+    }
+
     fn waterfill(&mut self, t: f64, flows: usize) {
         self.line(format!(
             "{{\"ev\":\"waterfill\",\"t\":{t:e},\"flows\":{flows}}}"
@@ -528,6 +559,14 @@ impl<A: Probe + ?Sized, B: Probe + ?Sized> Probe for Tee<'_, A, B> {
     fn flow_rate(&mut self, op: u32, flow: u32, rate: f64, t: f64) {
         self.0.flow_rate(op, flow, rate, t);
         self.1.flow_rate(op, flow, rate, t);
+    }
+    fn resource_capacity(&mut self, res: u32, capacity: f64, t: f64) {
+        self.0.resource_capacity(res, capacity, t);
+        self.1.resource_capacity(res, capacity, t);
+    }
+    fn flow_resources(&mut self, op: u32, flow: u32, resources: &[(u32, f64)], t: f64) {
+        self.0.flow_resources(op, flow, resources, t);
+        self.1.flow_resources(op, flow, resources, t);
     }
     fn waterfill(&mut self, t: f64, flows: usize) {
         self.0.waterfill(t, flows);

@@ -22,15 +22,22 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use mha_sched::{Channel, FrozenSchedule, NullProbe, OpKind, Probe, ProcGrid, ReadySet, Schedule};
+use mha_sched::{
+    Channel, FrozenSchedule, NodeId, NullProbe, OpKind, Probe, ProcGrid, ReadySet, Schedule,
+};
 
+use crate::fault::{FaultEvent, FaultKind, FaultSpec};
 use crate::resources::{socket_of, ResourceId, ResourceMap};
 use crate::topology::ClusterSpec;
 use crate::trace::{Trace, TraceBuilder};
 use crate::waterfill::{FlowSpec, WaterFiller};
 
-/// One expanded flow: `(rate cap, weighted resources, bytes)`.
-type FlowSpecTuple = (f64, Vec<(ResourceId, f64)>, f64);
+/// A rail flow's routing coordinates `(src node, dst node, rail)` — what a
+/// retry needs to re-issue the flow on a surviving rail.
+type RailRoute = (NodeId, NodeId, u8);
+
+/// One expanded flow: `(rate cap, weighted resources, bytes, rail route)`.
+type FlowSpecTuple = (f64, Vec<(ResourceId, f64)>, f64, Option<RailRoute>);
 
 /// An error preventing simulation.
 #[derive(Debug)]
@@ -137,6 +144,13 @@ struct Flow {
     last_update: f64,
     version: u64,
     alive: bool,
+    /// Starved by a fault (rate 0 on a down rail); a Retry event is pending.
+    stalled: bool,
+    /// Consecutive failed retries (drives exponential backoff).
+    retries: u32,
+    /// Rail routing coordinates, for fault-time re-issue. `None` for flows
+    /// that never touch a rail (CMA, copies, reductions, compute).
+    route: Option<RailRoute>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +159,11 @@ enum Ev {
     Start { op: u32 },
     /// A flow predicted to drain at this time (stale if version mismatches).
     Finish { flow: u32, version: u64 },
+    /// A fault-timeline boundary: rescale rail capacities and re-waterfill.
+    Fault { idx: u32 },
+    /// A stalled flow's retry timeout elapsed: re-issue on a surviving rail
+    /// (stale if version mismatches or the flow already woke up).
+    Retry { flow: u32, version: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -195,6 +214,14 @@ struct EngineState {
     rates: Vec<f64>,
     active_flows: usize,
     max_active: usize,
+    /// Per-resource fault scaling of nominal capacity (all 1.0 without
+    /// faults; multiplying by 1.0 is bit-exact, so fault-free runs are
+    /// unchanged).
+    cap_scale: Vec<f64>,
+    /// Whether a fault timeline is active (enables the stall/retry path).
+    faults_active: bool,
+    /// Seconds a stalled flow waits before re-issuing.
+    retry_timeout: f64,
 }
 
 impl EngineState {
@@ -272,16 +299,37 @@ impl EngineState {
                 }
             })
             .collect();
-        self.filler
-            .fill(&specs, |r| rmap.capacity(r), &mut self.rates);
+        let cap_scale = &self.cap_scale;
+        self.filler.fill(
+            &specs,
+            |r| rmap.capacity(r) * cap_scale[r.index()],
+            &mut self.rates,
+        );
         drop(specs);
         probe.waterfill(now, comp.len());
 
         for (k, &fi) in comp.iter().enumerate() {
             let new_rate = self.rates[k];
             let f = &mut self.flows[fi as usize];
-            let changed = (new_rate - f.rate).abs() > RATE_EPS * f.cap;
+            if self.faults_active && new_rate <= 0.0 {
+                // Starved by a down rail: stall and schedule a retry. The
+                // stalled flow stays registered on its resources so a
+                // link-up recompute wakes it.
+                if !f.stalled {
+                    f.stalled = true;
+                    f.version += 1; // invalidate any pending Finish
+                    f.rate = 0.0;
+                    let (flow, version, op) = (fi, f.version, f.op);
+                    probe.flow_rate(op, flow, 0.0, now);
+                    let t = now + self.retry_timeout;
+                    self.push_event(t, Ev::Retry { flow, version });
+                }
+                continue;
+            }
+            let changed = f.stalled || (new_rate - f.rate).abs() > RATE_EPS * f.cap;
             f.rate = new_rate;
+            f.stalled = false;
+            f.retries = 0;
             if changed {
                 f.version += 1;
                 assert!(new_rate > 0.0, "flow starved by water-filling");
@@ -294,30 +342,77 @@ impl EngineState {
     }
 }
 
-/// Whether invariant-check mode is on: `MHA_CHECK` set to anything other
-/// than empty or `0`. Read once per process — the `fig*` binaries set the
-/// variable (via `--check`) before constructing any [`Simulator`].
+/// Programmatic override of check mode: 0 = none (fall back to the cached
+/// `MHA_CHECK` read), 1 = forced off, 2 = forced on.
+static CHECK_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Whether invariant-check mode is on.
+///
+/// Resolution order: the thread-safe programmatic override
+/// ([`set_check_enabled`]) wins; otherwise the `MHA_CHECK` environment
+/// variable (set to anything other than empty or `0`), read **once** per
+/// process and cached — later `set_var`/`remove_var` calls have no effect,
+/// which keeps the answer stable under the parallel test harness. The
+/// `fig*` binaries enable it via `--check` before constructing any
+/// [`Simulator`].
 pub fn check_enabled() -> bool {
-    static CHECK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *CHECK.get_or_init(|| std::env::var("MHA_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"))
+    match CHECK_OVERRIDE.load(std::sync::atomic::Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => {
+            static CHECK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            *CHECK
+                .get_or_init(|| std::env::var("MHA_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"))
+        }
+    }
+}
+
+/// Forces check mode on (`Some(true)`), off (`Some(false)`), or back to the
+/// cached `MHA_CHECK` environment read (`None`). Thread-safe; tests and the
+/// bench harness use this instead of racing on `std::env::set_var`.
+pub fn set_check_enabled(v: Option<bool>) {
+    let code = match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    CHECK_OVERRIDE.store(code, std::sync::atomic::Ordering::SeqCst);
 }
 
 /// A discrete-event simulator for one cluster specification.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     spec: ClusterSpec,
+    faults: Option<FaultSpec>,
 }
 
 impl Simulator {
     /// Creates a simulator, validating the spec.
     pub fn new(spec: ClusterSpec) -> Result<Self, SimError> {
         spec.validate().map_err(SimError::InvalidSpec)?;
-        Ok(Simulator { spec })
+        Ok(Simulator { spec, faults: None })
+    }
+
+    /// Creates a simulator with a fault timeline (see [`FaultSpec`]). Rail
+    /// indices are validated here; node indices are validated against the
+    /// grid on each run.
+    pub fn with_faults(spec: ClusterSpec, faults: FaultSpec) -> Result<Self, SimError> {
+        let mut sim = Simulator::new(spec)?;
+        faults
+            .validate(sim.spec.rails, u32::MAX)
+            .map_err(SimError::InvalidSpec)?;
+        sim.faults = Some(faults);
+        Ok(sim)
     }
 
     /// The cluster being simulated.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
+    }
+
+    /// The fault timeline, if any.
+    pub fn faults(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref()
     }
 
     /// Simulates `sch` with default options; returns virtual-time results.
@@ -374,6 +469,11 @@ impl Simulator {
                 cores: self.spec.cores_per_node,
             });
         }
+        if let Some(faults) = &self.faults {
+            faults
+                .validate(self.spec.rails, grid.nodes())
+                .map_err(SimError::InvalidSpec)?;
+        }
         let rmap = ResourceMap::new(&grid, &self.spec);
         let n_ops = sch.n_ops();
         probe.begin_run(sch, "simnet");
@@ -405,7 +505,23 @@ impl Simulator {
             rates: Vec::new(),
             active_flows: 0,
             max_active: 0,
+            cap_scale: vec![1.0; rmap.len()],
+            faults_active: self.faults.is_some(),
+            retry_timeout: self.faults.as_ref().map_or(0.0, |f| f.retry_timeout),
         };
+
+        // Fault boundaries enter the heap before the roots so a fault at
+        // t=0 rescales capacities before any same-instant op start. Without
+        // a fault timeline no events are pushed and the heap order is
+        // byte-identical to the fault-free engine.
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        if let Some(faults) = &self.faults {
+            fault_events = faults.events.clone();
+            fault_events.sort_by(|a, b| a.time.total_cmp(&b.time));
+            for (i, ev) in fault_events.iter().enumerate() {
+                st.push_event(ev.time, Ev::Fault { idx: i as u32 });
+            }
+        }
 
         for &i in sch.roots() {
             probe.op_ready(i, 0.0);
@@ -422,10 +538,11 @@ impl Simulator {
                 Ev::Start { op } => {
                     let oi = op as usize;
                     probe.op_start(op, time);
-                    let specs = self.op_flow_specs(sch, oi, &rmap, &grid, &mut rr_next_rail);
+                    let specs =
+                        self.op_flow_specs(sch, oi, &rmap, &grid, &mut rr_next_rail, &st.cap_scale);
                     let mut seeds: Vec<ResourceId> = Vec::new();
                     let mut created = 0u32;
-                    for (cap, resources, bytes) in specs {
+                    for (cap, resources, bytes, route) in specs {
                         if bytes <= 0.0 {
                             continue;
                         }
@@ -442,6 +559,9 @@ impl Simulator {
                                 last_update: 0.0,
                                 version: 0,
                                 alive: false,
+                                stalled: false,
+                                retries: 0,
+                                route: None,
                             });
                             st.flow_stamp.push(0);
                             st.flows.len() - 1
@@ -456,6 +576,9 @@ impl Simulator {
                             last_update: time,
                             version: prev_version + 1,
                             alive: true,
+                            stalled: false,
+                            retries: 0,
+                            route,
                         };
                         let no_resources = st.flows[fi].resources.is_empty();
                         for ri in 0..st.flows[fi].resources.len() {
@@ -551,6 +674,96 @@ impl Simulator {
                         st.recompute(time, &seeds, &rmap, probe);
                     }
                 }
+                Ev::Fault { idx } => {
+                    let fe = fault_events[idx as usize];
+                    let scale = match fe.kind {
+                        FaultKind::Derate(f) => f,
+                        FaultKind::Down => 0.0,
+                        FaultKind::Up => 1.0,
+                    };
+                    let nodes: Vec<NodeId> = match fe.node {
+                        Some(n) => vec![NodeId(n)],
+                        None => (0..grid.nodes()).map(NodeId).collect(),
+                    };
+                    let mut seeds: Vec<ResourceId> = Vec::new();
+                    for n in nodes {
+                        for r in [rmap.tx(n, fe.rail), rmap.rx(n, fe.rail)] {
+                            st.cap_scale[r.index()] = scale;
+                            probe.resource_capacity(r.0, rmap.capacity(r) * scale, time);
+                            seeds.push(r);
+                        }
+                    }
+                    st.recompute(time, &seeds, &rmap, probe);
+                }
+                Ev::Retry { flow, version } => {
+                    let fi = flow as usize;
+                    if !st.flows[fi].alive
+                        || st.flows[fi].version != version
+                        || !st.flows[fi].stalled
+                    {
+                        continue; // the flow finished or already woke up
+                    }
+                    let Some((sn, dn, cur)) = st.flows[fi].route else {
+                        continue; // non-rail flows never stall on a fault
+                    };
+                    // First surviving rail, scanning round-robin from the
+                    // rail after the one we stalled on.
+                    let mut next: Option<u8> = None;
+                    for off in 1..=self.spec.rails {
+                        let h =
+                            ((u16::from(cur) + u16::from(off)) % u16::from(self.spec.rails)) as u8;
+                        if st.cap_scale[rmap.tx(sn, h).index()] > 0.0
+                            && st.cap_scale[rmap.rx(dn, h).index()] > 0.0
+                        {
+                            next = Some(h);
+                            break;
+                        }
+                    }
+                    match next {
+                        Some(h) => {
+                            // Re-issue: move the flow onto the surviving
+                            // rail, keeping identity and remaining bytes.
+                            let old: Vec<ResourceId> =
+                                st.flows[fi].resources.iter().map(|&(r, _)| r).collect();
+                            for &r in &old {
+                                let list = &mut st.res_flows[r.index()];
+                                if let Some(pos) = list.iter().position(|&x| x == flow) {
+                                    list.swap_remove(pos);
+                                }
+                            }
+                            let new_res = vec![(rmap.tx(sn, h), 1.0), (rmap.rx(dn, h), 1.0)];
+                            for &(r, _) in &new_res {
+                                st.res_flows[r.index()].push(flow);
+                            }
+                            let f = &mut st.flows[fi];
+                            f.resources = new_res;
+                            f.route = Some((sn, dn, h));
+                            f.retries = 0;
+                            if narrate_flows {
+                                let res: Vec<(u32, f64)> = st.flows[fi]
+                                    .resources
+                                    .iter()
+                                    .map(|&(r, w)| (r.0, w))
+                                    .collect();
+                                probe.flow_resources(st.flows[fi].op, flow, &res, time);
+                            }
+                            let mut seeds = old;
+                            seeds.push(rmap.tx(sn, h));
+                            seeds.push(rmap.rx(dn, h));
+                            st.recompute(time, &seeds, &rmap, probe);
+                        }
+                        None => {
+                            // No rail survives: back off exponentially and
+                            // try again. If every rail stays down forever
+                            // the run ends at the deadlock assertion below.
+                            let f = &mut st.flows[fi];
+                            f.retries += 1;
+                            let backoff = (1u64 << f.retries.min(10)) as f64;
+                            let t = time + st.retry_timeout * backoff;
+                            st.push_event(t, Ev::Retry { flow, version });
+                        }
+                    }
+                }
             }
         }
 
@@ -635,10 +848,13 @@ impl Simulator {
         }
     }
 
-    /// Expands op `oi` into flow specs `(rate cap, weighted resources, bytes)`.
-    /// The round-robin rail for small `AllRails` messages is chosen here —
-    /// i.e. when the transfer actually starts, matching an MPI pt2pt layer
-    /// choosing the rail as the message hits the wire.
+    /// Expands op `oi` into flow specs `(rate cap, weighted resources,
+    /// bytes, rail route)`. The round-robin rail for small `AllRails`
+    /// messages is chosen here — i.e. when the transfer actually starts,
+    /// matching an MPI pt2pt layer choosing the rail as the message hits
+    /// the wire. Under a fault timeline, `AllRails` resolves against the
+    /// rails currently up for this src/dst pair (`cap_scale > 0`),
+    /// re-tiling the stripe over the survivors.
     fn op_flow_specs(
         &self,
         sch: &Schedule,
@@ -646,6 +862,7 @@ impl Simulator {
         rmap: &ResourceMap,
         grid: &ProcGrid,
         rr_next_rail: &mut [u8],
+        cap_scale: &[f64],
     ) -> Vec<FlowSpecTuple> {
         let spec = &self.spec;
         match &sch.ops()[oi].kind {
@@ -670,36 +887,71 @@ impl Simulator {
                                 res.push((rmap.xsocket(dn), 1.0));
                             }
                         }
-                        vec![(spec.cma_bw, res, *len as f64)]
+                        vec![(spec.cma_bw, res, *len as f64, None)]
                     }
                     Channel::Rail(h) => vec![(
                         spec.rail_bw,
                         vec![(rmap.tx(sn, *h), 1.0), (rmap.rx(dn, *h), 1.0)],
                         *len as f64,
+                        Some((sn, dn, *h)),
                     )],
                     Channel::AllRails => {
+                        let rail_up = |r: u8| {
+                            cap_scale[rmap.tx(sn, r).index()] > 0.0
+                                && cap_scale[rmap.rx(dn, r).index()] > 0.0
+                        };
                         if spec.stripes(*len) {
-                            let h = usize::from(spec.rails);
-                            let base = *len / h;
-                            let rem = *len % h;
-                            (0..spec.rails)
-                                .map(|r| {
-                                    let bytes = base + usize::from(usize::from(r) < rem);
+                            // Resolve against the surviving-rail set. Only
+                            // consulted under a fault timeline; otherwise
+                            // every rail is up and the tiling is identical
+                            // to the fault-free engine. If every rail is
+                            // down, issue on the full set and let the
+                            // stall/retry machinery wait out the outage.
+                            let rails: Vec<u8> = if self.faults.is_some() {
+                                let up: Vec<u8> = (0..spec.rails).filter(|&r| rail_up(r)).collect();
+                                if up.is_empty() {
+                                    (0..spec.rails).collect()
+                                } else {
+                                    up
+                                }
+                            } else {
+                                (0..spec.rails).collect()
+                            };
+                            let k = rails.len();
+                            let base = *len / k;
+                            let rem = *len % k;
+                            rails
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &r)| {
+                                    let bytes = base + usize::from(i < rem);
                                     (
                                         spec.rail_bw,
                                         vec![(rmap.tx(sn, r), 1.0), (rmap.rx(dn, r), 1.0)],
                                         bytes as f64,
+                                        Some((sn, dn, r)),
                                     )
                                 })
-                                .filter(|(_, _, b)| *b > 0.0)
+                                .filter(|(_, _, b, _)| *b > 0.0)
                                 .collect()
                         } else {
-                            let h = rr_next_rail[sn.index()];
+                            let mut h = rr_next_rail[sn.index()];
+                            if self.faults.is_some() {
+                                // Skip dead rails; if all are down, keep
+                                // the scheduled one and stall.
+                                for _ in 0..spec.rails {
+                                    if rail_up(h) {
+                                        break;
+                                    }
+                                    h = (h + 1) % spec.rails;
+                                }
+                            }
                             rr_next_rail[sn.index()] = (h + 1) % spec.rails;
                             vec![(
                                 spec.rail_bw,
                                 vec![(rmap.tx(sn, h), 1.0), (rmap.rx(dn, h), 1.0)],
                                 *len as f64,
+                                Some((sn, dn, h)),
                             )]
                         }
                     }
@@ -719,7 +971,7 @@ impl Simulator {
                 if spec.numa.is_some() && Self::touches_remote_home(sch, &[*src, *dst], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
-                vec![(spec.copy_bw, res, *len as f64)]
+                vec![(spec.copy_bw, res, *len as f64, None)]
             }
             OpKind::Reduce {
                 actor,
@@ -737,13 +989,13 @@ impl Simulator {
                 if spec.numa.is_some() && Self::touches_remote_home(sch, &[*acc, *operand], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
-                vec![(spec.reduce_bw(), res, *len as f64)]
+                vec![(spec.reduce_bw(), res, *len as f64, None)]
             }
             OpKind::Compute { actor, flops } => {
                 // Convert FLOPs to CPU byte-equivalents so compute and copy
                 // contend for the same core in one unit system.
                 let bytes = *flops as f64 * spec.copy_bw / spec.flops_rate;
-                vec![(spec.copy_bw, vec![(rmap.cpu(*actor), 1.0)], bytes)]
+                vec![(spec.copy_bw, vec![(rmap.cpu(*actor), 1.0)], bytes, None)]
             }
         }
     }
@@ -1319,5 +1571,199 @@ mod tests {
         assert!(sp.end > sp.start);
         let no_trace = sim().run(&sch).unwrap();
         assert!(no_trace.trace.is_none());
+    }
+
+    /// One inter-node transfer on the given channel, for fault tests.
+    fn rail_sch(len: usize, ch: Channel) -> FrozenSchedule {
+        let grid = ProcGrid::new(2, 1);
+        let mut b = ScheduleBuilder::new(grid, "fault");
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            ch,
+            &[],
+            0,
+        );
+        b.finish().freeze()
+    }
+
+    fn bytes_on(r: &SimResult, prefix: &str) -> f64 {
+        r.resource_labels
+            .iter()
+            .zip(&r.resource_bytes)
+            .filter(|(l, _)| l.starts_with(prefix))
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    #[test]
+    fn fault_timeline_past_the_makespan_leaves_results_bit_identical() {
+        let sch = rail_sch(1 << 20, Channel::AllRails);
+        let plain = sim().run(&sch).unwrap();
+        let faults = FaultSpec::derate(0, 1e9, 0.5); // long after completion
+        let faulty = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        assert_eq!(plain.makespan.to_bits(), faulty.makespan.to_bits());
+        assert_eq!(plain.op_end.len(), faulty.op_end.len());
+        for (a, b) in plain.op_end.iter().zip(&faulty.op_end) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn derated_rail_slows_the_transfer_proportionally() {
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::Rail(0));
+        let faults = FaultSpec::derate(0, 0.0, 0.5);
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_startup(len) + len as f64 / (0.5 * spec.rail_bw);
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn striping_avoids_a_down_rail() {
+        // Rail 0 dead from t=0: a striped AllRails transfer re-tiles the
+        // whole message onto rail 1 and never touches rail 0.
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::AllRails);
+        let faults = FaultSpec::rail_down_at(0, 0.0);
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_startup(len) + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+        assert_eq!(bytes_on(&r, "tx(n0,h0"), 0.0);
+        assert!((bytes_on(&r, "tx(n0,h1") - len as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn stalled_flow_retries_onto_the_surviving_rail() {
+        // A pinned Rail(0) flow can't re-stripe at issue time; it stalls,
+        // waits out the retry timeout, and re-issues on rail 1.
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::Rail(0));
+        let timeout = 50e-6;
+        let mut faults = FaultSpec::rail_down_at(0, 0.0);
+        faults.retry_timeout = timeout;
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_startup(len) + timeout + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+        assert_eq!(bytes_on(&r, "tx(n0,h0"), 0.0);
+        assert!((bytes_on(&r, "tx(n0,h1") - len as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_flap_pauses_and_resumes_the_flow() {
+        // Rail 0 flaps mid-flight; with a retry timeout longer than the
+        // outage, the flow waits in place and resumes on the same rail.
+        let len = 4 << 20;
+        let sch = rail_sch(len, Channel::Rail(0));
+        let spec = ClusterSpec::thor();
+        let alpha = spec.rail_startup(len);
+        let full = len as f64 / spec.rail_bw;
+        let t_down = alpha + 0.25 * full;
+        let t_up = t_down + 3.0 * full;
+        let mut faults = FaultSpec::flap(0, t_down, t_up);
+        faults.retry_timeout = 100.0; // never retries within this run
+        let r = Simulator::with_faults(spec.clone(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let expect = t_up + 0.75 * full;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+        assert_eq!(bytes_on(&r, "tx(n0,h1"), 0.0);
+    }
+
+    #[test]
+    fn down_rail_run_passes_the_invariant_audit() {
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::AllRails);
+        let faults = FaultSpec::rail_down_at(0, 0.0);
+        let sim = Simulator::with_faults(ClusterSpec::thor(), faults).unwrap();
+        let mut audit = mha_sched::InvariantProbe::new();
+        sim.run_probed(&sch, &mut audit).unwrap();
+        assert!(audit.is_clean(), "{:?}", audit.violations());
+    }
+
+    #[test]
+    fn per_node_fault_only_affects_that_node_and_is_grid_checked() {
+        // A node index outside the grid is caught at run time.
+        let sch = rail_sch(1 << 20, Channel::Rail(0));
+        let faults = FaultSpec::new(1e-4).with_event(FaultEvent {
+            time: 0.0,
+            rail: 0,
+            node: Some(7),
+            kind: FaultKind::Down,
+        });
+        let sim = Simulator::with_faults(ClusterSpec::thor(), faults).unwrap();
+        assert!(matches!(
+            sim.run(&sch).unwrap_err(),
+            SimError::InvalidSpec(_)
+        ));
+
+        // A fault pinned to the destination node still kills the path
+        // (its rx side is down), so the stall/retry machinery engages.
+        let len = 1 << 20;
+        let timeout = 50e-6;
+        let mut faults = FaultSpec::new(timeout).with_event(FaultEvent {
+            time: 0.0,
+            rail: 0,
+            node: Some(1),
+            kind: FaultKind::Down,
+        });
+        faults.retry_timeout = timeout;
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&rail_sch(len, Channel::Rail(0)))
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = spec.rail_startup(len) + timeout + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn check_override_wins_over_the_env_cache() {
+        set_check_enabled(Some(true));
+        assert!(check_enabled());
+        set_check_enabled(Some(false));
+        assert!(!check_enabled());
+        set_check_enabled(None);
     }
 }

@@ -251,6 +251,30 @@ mod tests {
     }
 
     #[test]
+    fn stripe_cutoff_is_at_or_above_the_threshold() {
+        // "At or above": len == threshold stripes, len == threshold − 1
+        // does not. Guards the classic off-by-one in the cutoff compare.
+        let t = ClusterSpec::thor();
+        assert!(!t.stripes(t.stripe_threshold - 1));
+        assert!(t.stripes(t.stripe_threshold));
+        assert!(t.stripes(t.stripe_threshold + 1));
+    }
+
+    #[test]
+    fn rendezvous_cutoff_is_at_or_above_the_threshold() {
+        let t = ClusterSpec::thor();
+        assert_eq!(t.rail_startup(t.rndv_threshold - 1), t.rail_alpha);
+        assert_eq!(
+            t.rail_startup(t.rndv_threshold),
+            t.rail_alpha + t.rndv_extra
+        );
+        assert_eq!(
+            t.rail_startup(t.rndv_threshold + 1),
+            t.rail_alpha + t.rndv_extra
+        );
+    }
+
+    #[test]
     fn table1_time_helpers_are_affine_in_len() {
         let t = ClusterSpec::thor();
         let m = 1 << 20;

@@ -309,6 +309,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_resource_starves_its_flows() {
+        // A faulted (down) rail presents capacity 0: flows crossing it get
+        // rate 0 cleanly, while flows elsewhere fill as usual.
+        let dead = unit(&[R0]);
+        let live = unit(&[R1]);
+        let flows = [
+            FlowSpec {
+                cap: 100.0,
+                resources: &dead,
+            },
+            FlowSpec {
+                cap: 100.0,
+                resources: &live,
+            },
+        ];
+        let rates = max_min_rates(&flows, cap_table(&[0.0, 10.0]));
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_input_yields_empty_output() {
         let rates = max_min_rates(&[], |_| 1.0);
         assert!(rates.is_empty());
