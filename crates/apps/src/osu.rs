@@ -78,15 +78,17 @@ impl Contestant {
         }
     }
 
-    /// Simulated Allgather latency at one point, in microseconds.
-    pub fn allgather_latency_us(
+    /// Builds (without running) this contestant's Allgather schedule —
+    /// the build half of [`Contestant::allgather_latency_us`], exposed so
+    /// campaign runners can cache the frozen schedule and price it in a
+    /// reused engine arena.
+    pub fn build_allgather(
         &self,
         grid: ProcGrid,
         msg: usize,
         spec: &ClusterSpec,
-    ) -> Result<f64, AppError> {
-        let sim = Simulator::new(spec.clone())?;
-        let built = match self {
+    ) -> Result<mha_collectives::Built, AppError> {
+        Ok(match self {
             Contestant::Library(l) => l.build_allgather(grid, msg, spec)?,
             Contestant::MhaTuned => {
                 if grid.nodes() == 1 {
@@ -106,7 +108,35 @@ impl Contestant {
                 }
             }
             Contestant::Fixed(a) => a.build(grid, msg, spec)?,
+        })
+    }
+
+    /// Builds (without running) this contestant's Ring-Allreduce schedule
+    /// for a vector of `elems` f32 elements.
+    pub fn build_allreduce(
+        &self,
+        grid: ProcGrid,
+        elems: usize,
+        spec: &ClusterSpec,
+    ) -> Result<mha_collectives::Built, AppError> {
+        let phase = match self {
+            Contestant::Library(_) => AllgatherPhase::FlatRing,
+            Contestant::MhaTuned | Contestant::Fixed(_) => {
+                AllgatherPhase::MhaInter(MhaInterConfig::default())
+            }
         };
+        Ok(build_ring_allreduce(grid, elems, phase, spec)?)
+    }
+
+    /// Simulated Allgather latency at one point, in microseconds.
+    pub fn allgather_latency_us(
+        &self,
+        grid: ProcGrid,
+        msg: usize,
+        spec: &ClusterSpec,
+    ) -> Result<f64, AppError> {
+        let sim = Simulator::new(spec.clone())?;
+        let built = self.build_allgather(grid, msg, spec)?;
         Ok(sim.run(&built.sched)?.latency_us())
     }
 
@@ -118,13 +148,7 @@ impl Contestant {
         spec: &ClusterSpec,
     ) -> Result<f64, AppError> {
         let sim = Simulator::new(spec.clone())?;
-        let phase = match self {
-            Contestant::Library(_) => AllgatherPhase::FlatRing,
-            Contestant::MhaTuned | Contestant::Fixed(_) => {
-                AllgatherPhase::MhaInter(MhaInterConfig::default())
-            }
-        };
-        let built = build_ring_allreduce(grid, elems, phase, spec)?;
+        let built = self.build_allreduce(grid, elems, spec)?;
         Ok(sim.run(&built.sched)?.latency_us())
     }
 }

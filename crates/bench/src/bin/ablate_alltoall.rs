@@ -1,16 +1,34 @@
 //! Extension experiment: hierarchical (node-aggregated) Alltoall vs the
 //! flat shifted-direct algorithm — message-count aggregation at work.
+//! Runs as one campaign (see `mha_bench::campaign`); the gain column is
+//! derived from the two simulated cells at assembly time.
 
 use mha_apps::report::{fmt_bytes, Table};
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, ConfigKey};
 use mha_collectives::{build_direct_alltoall, build_mha_alltoall};
 use mha_sched::ProcGrid;
-use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+use mha_simnet::{size_sweep, ClusterSpec};
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
-    let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::new(8, 8);
+    let sizes = size_sweep(64, 64 * 1024);
+    let mut cells = Vec::new();
+    for &msg in &sizes {
+        let key = ConfigKey::new("alltoall/flat_direct", grid, msg, &spec);
+        cells.push(CampaignPoint::sim("flat", key, spec.clone(), move || {
+            Ok(build_direct_alltoall(grid, msg).sched)
+        }));
+        let key = ConfigKey::new("alltoall/mha", grid, msg, &spec);
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim("mha", key, spec.clone(), move || {
+            build_mha_alltoall(grid, msg, &spec2)
+                .map(|b| b.sched)
+                .map_err(|e| format!("{e:?}"))
+        }));
+    }
+    let report = run_campaign(&cells, &CampaignConfig::from_env()).unwrap();
     let mut t = Table::new(
         "Extension: Alltoall, 8 nodes x 8 PPN",
         "msg_bytes",
@@ -20,11 +38,9 @@ fn main() {
             "gain_pct".into(),
         ],
     );
-    for msg in size_sweep(64, 64 * 1024) {
-        let flat = build_direct_alltoall(grid, msg);
-        let mha = build_mha_alltoall(grid, msg, &spec).unwrap();
-        let t_flat = sim.run(&flat.sched).unwrap().latency_us();
-        let t_mha = sim.run(&mha.sched).unwrap().latency_us();
+    for (i, &msg) in sizes.iter().enumerate() {
+        let t_flat = report.value(2 * i);
+        let t_mha = report.value(2 * i + 1);
         t.push(
             fmt_bytes(msg),
             vec![t_flat, t_mha, (1.0 - t_mha / t_flat) * 100.0],

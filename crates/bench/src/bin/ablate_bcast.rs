@@ -1,17 +1,37 @@
 //! Extension experiment: the multi-HCA-aware recipe applied to Broadcast
 //! (the paper's future work mentions "other collectives") — hierarchical +
-//! segmented + shm-overlapped vs the flat binomial tree.
+//! segmented + shm-overlapped vs the flat binomial tree. Runs as one
+//! campaign (see `mha_bench::campaign`).
 
 use mha_apps::report::{fmt_bytes, Table};
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, ConfigKey};
 use mha_collectives::{build_binomial_bcast, build_mha_bcast};
 use mha_sched::{ProcGrid, RankId};
-use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+use mha_simnet::{size_sweep, ClusterSpec};
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
-    let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::new(8, 16);
+    let sizes = size_sweep(64 * 1024, 16 << 20);
+    let mut cells = Vec::new();
+    for &msg in &sizes {
+        let key = ConfigKey::new("bcast/binomial", grid, msg, &spec);
+        cells.push(CampaignPoint::sim(
+            "binomial",
+            key,
+            spec.clone(),
+            move || Ok(build_binomial_bcast(grid, msg, RankId(0)).sched),
+        ));
+        let key = ConfigKey::new("bcast/mha", grid, msg, &spec);
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim("mha", key, spec.clone(), move || {
+            build_mha_bcast(grid, msg, RankId(0), 256 * 1024, &spec2)
+                .map(|b| b.sched)
+                .map_err(|e| format!("{e:?}"))
+        }));
+    }
+    let report = run_campaign(&cells, &CampaignConfig::from_env()).unwrap();
     let mut t = Table::new(
         "Extension: Broadcast, 8 nodes x 16 PPN (segment = 256 KB)",
         "msg_bytes",
@@ -21,11 +41,9 @@ fn main() {
             "gain_pct".into(),
         ],
     );
-    for msg in size_sweep(64 * 1024, 16 << 20) {
-        let flat = build_binomial_bcast(grid, msg, RankId(0));
-        let mha = build_mha_bcast(grid, msg, RankId(0), 256 * 1024, &spec).unwrap();
-        let t_flat = sim.run(&flat.sched).unwrap().latency_us();
-        let t_mha = sim.run(&mha.sched).unwrap().latency_us();
+    for (i, &msg) in sizes.iter().enumerate() {
+        let t_flat = report.value(2 * i);
+        let t_mha = report.value(2 * i + 1);
         t.push(
             fmt_bytes(msg),
             vec![t_flat, t_mha, (1.0 - t_mha / t_flat) * 100.0],

@@ -13,8 +13,16 @@
 //!   in-flight stalls);
 //! * `model`: `T(H − k)` — the ideal a degraded run should track (the
 //!   conformance bar requires staying within 2x of it).
+//!
+//! The per-`k` simulations run as one campaign (see
+//! `mha_bench::campaign`). The oblivious schedule is built once and
+//! shared through the campaign cache across all eight fault timelines;
+//! the `k = 0` row's timeline is empty, so its simulator is constructed
+//! fault-free (`simulator_for` gates the fault machinery on
+//! `!events.is_empty()`).
 
 use mha_apps::report::Table;
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, ConfigKey};
 use mha_collectives::mha::{build_mha_inter, build_mha_inter_degraded, MhaInterConfig};
 use mha_model::{mha_inter_latency, ModelParams, Phase2};
 use mha_sched::ProcGrid;
@@ -28,21 +36,11 @@ fn main() {
     let spec = ClusterSpec::thor_with_rails(rails);
     let cfg = MhaInterConfig::default();
 
-    let mut table = Table::new(
-        "Ablation: MHA-inter latency (us), k of 8 rails fail mid-run, 4 nodes x 4 PPN, 256 KB",
-        "k_down",
-        vec![
-            "oblivious_us".into(),
-            "aware_us".into(),
-            "model_us".into(),
-            "aware_vs_model".into(),
-        ],
-    );
-
     let oblivious = build_mha_inter(grid, msg, cfg, &spec).unwrap();
     let healthy = Simulator::new(spec.clone()).unwrap();
     let t_fault = 0.02 * healthy.run(&oblivious.sched).unwrap().makespan;
 
+    let mut cells = Vec::new();
     for k in 0..rails {
         let down: Vec<u8> = (0..k).collect();
         let mut faults = FaultSpec::new(DEFAULT_RETRY_TIMEOUT);
@@ -54,15 +52,49 @@ fn main() {
                 kind: FaultKind::Down,
             });
         }
-        let sim = Simulator::with_faults(spec.clone(), faults).unwrap();
+        // One oblivious schedule serves every k: same key -> one build,
+        // Arc-shared across the pool; only the fault timeline varies.
+        let key = ConfigKey::new("ablate_faults/oblivious", grid, msg, &spec);
+        let sched = oblivious.sched.clone();
+        cells.push(CampaignPoint::sim_faulty(
+            "oblivious",
+            key,
+            spec.clone(),
+            Some(faults.clone()),
+            move || Ok(sched.clone()),
+        ));
+        let key = ConfigKey::new("ablate_faults/aware", grid, msg, &spec).with_salt(u64::from(k));
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim_faulty(
+            "aware",
+            key,
+            spec.clone(),
+            Some(faults),
+            move || {
+                build_mha_inter_degraded(grid, msg, cfg, &spec2, &down)
+                    .map(|b| b.sched)
+                    .map_err(|e| format!("{e:?}"))
+            },
+        ));
+    }
+    let report = run_campaign(&cells, &CampaignConfig::from_env()).unwrap();
 
-        let aware = build_mha_inter_degraded(grid, msg, cfg, &spec, &down).unwrap();
-        let t_obl = sim.run(&oblivious.sched).unwrap().latency_us();
-        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
-
+    let mut table = Table::new(
+        "Ablation: MHA-inter latency (us), k of 8 rails fail mid-run, 4 nodes x 4 PPN, 256 KB",
+        "k_down",
+        vec![
+            "oblivious_us".into(),
+            "aware_us".into(),
+            "model_us".into(),
+            "aware_vs_model".into(),
+        ],
+    );
+    for k in 0..rails {
+        let i = usize::from(k);
+        let t_obl = report.value(2 * i);
+        let t_aware = report.value(2 * i + 1);
         let p = ModelParams::from_spec(&ClusterSpec::thor_with_rails(rails - k));
         let t_model = mha_inter_latency(&p, grid.nodes(), grid.ppn(), msg, Phase2::Ring) * 1e6;
-
         table.push(
             k.to_string(),
             vec![t_obl, t_aware, t_model, t_aware / t_model],

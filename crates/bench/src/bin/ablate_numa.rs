@@ -1,17 +1,56 @@
 //! The future-work experiment (paper Section 7): 3-level NUMA-aware
 //! Allgather versus the NUMA-blind 2-level design on a dual-socket
-//! cluster model, across message sizes.
+//! cluster model, across message sizes. Runs as one campaign (see
+//! `mha_bench::campaign`), three simulated cells per row.
 
 use mha_apps::report::{fmt_bytes, Table};
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, ConfigKey};
 use mha_collectives::mha::{build_mha_inter, build_mha_numa3, MhaInterConfig, Numa3Config};
 use mha_sched::ProcGrid;
-use mha_simnet::{size_sweep, ClusterSpec, Simulator};
+use mha_simnet::{size_sweep, ClusterSpec};
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor_numa();
-    let sim = Simulator::new(spec.clone()).unwrap();
     let grid = ProcGrid::new(4, 16);
+    let sizes = size_sweep(4096, 1 << 20);
+    let mut cells = Vec::new();
+    for &msg in &sizes {
+        let key = ConfigKey::new("numa/2level_blind", grid, msg, &spec);
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim("blind", key, spec.clone(), move || {
+            build_mha_inter(grid, msg, MhaInterConfig::default(), &spec2)
+                .map(|b| b.sched)
+                .map_err(|e| format!("{e:?}"))
+        }));
+        let key = ConfigKey::new("numa/3level_aware", grid, msg, &spec);
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim("aware", key, spec.clone(), move || {
+            build_mha_numa3(grid, msg, Numa3Config::default(), &spec2)
+                .map(|b| b.sched)
+                .map_err(|e| format!("{e:?}"))
+        }));
+        let key = ConfigKey::new("numa/3level_no_offload", grid, msg, &spec);
+        let spec2 = spec.clone();
+        cells.push(CampaignPoint::sim(
+            "no_offload",
+            key,
+            spec.clone(),
+            move || {
+                build_mha_numa3(
+                    grid,
+                    msg,
+                    Numa3Config {
+                        offload_xsocket: false,
+                    },
+                    &spec2,
+                )
+                .map(|b| b.sched)
+                .map_err(|e| format!("{e:?}"))
+            },
+        ));
+    }
+    let report = run_campaign(&cells, &CampaignConfig::from_env()).unwrap();
     let mut t = Table::new(
         "Future work: 3-level NUMA-aware vs 2-level NUMA-blind, 4 nodes x 16 PPN \
          (dual-socket, 7 GB/s effective cross-socket copies)",
@@ -23,21 +62,10 @@ fn main() {
             "gain_pct".into(),
         ],
     );
-    for msg in size_sweep(4096, 1 << 20) {
-        let blind = build_mha_inter(grid, msg, MhaInterConfig::default(), &spec).unwrap();
-        let aware = build_mha_numa3(grid, msg, Numa3Config::default(), &spec).unwrap();
-        let aware_noloop = build_mha_numa3(
-            grid,
-            msg,
-            Numa3Config {
-                offload_xsocket: false,
-            },
-            &spec,
-        )
-        .unwrap();
-        let t_blind = sim.run(&blind.sched).unwrap().latency_us();
-        let t_aware = sim.run(&aware.sched).unwrap().latency_us();
-        let t_noloop = sim.run(&aware_noloop.sched).unwrap().latency_us();
+    for (i, &msg) in sizes.iter().enumerate() {
+        let t_blind = report.value(3 * i);
+        let t_aware = report.value(3 * i + 1);
+        let t_noloop = report.value(3 * i + 2);
         t.push(
             fmt_bytes(msg),
             vec![

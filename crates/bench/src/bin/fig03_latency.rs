@@ -1,22 +1,42 @@
 //! Figure 3: inter-node latency with one and two HCAs (striping halves
-//! large-message latency above the 16 KB threshold).
+//! large-message latency above the 16 KB threshold). Each message size is
+//! one campaign point (see `mha_bench::campaign`).
+
+use std::sync::Arc;
 
 use mha_apps::report::{fmt_bytes, Table};
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
 use mha_simnet::{pt2pt_latency_us, size_sweep, ClusterSpec, Placement, Simulator};
 
 fn main() {
     mha_bench::apply_check_flag();
-    let two = Simulator::new(ClusterSpec::thor()).unwrap();
-    let one = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();
+    let two = Arc::new(Simulator::new(ClusterSpec::thor()).unwrap());
+    let one = Arc::new(Simulator::new(ClusterSpec::thor_single_rail()).unwrap());
+    let sizes = size_sweep(8 * 1024, 4 << 20);
+    let points: Vec<CampaignPoint> = sizes
+        .iter()
+        .map(|&m| {
+            let two = Arc::clone(&two);
+            let one = Arc::clone(&one);
+            CampaignPoint::custom(fmt_bytes(m), move |_seed| {
+                let l1 =
+                    pt2pt_latency_us(&one, Placement::InterNode, m).map_err(|e| e.to_string())?;
+                let l2 =
+                    pt2pt_latency_us(&two, Placement::InterNode, m).map_err(|e| e.to_string())?;
+                Ok(vec![Row::new(fmt_bytes(m), vec![l1, l2])])
+            })
+        })
+        .collect();
+    let report = run_campaign(&points, &CampaignConfig::from_env()).unwrap();
     let mut t = Table::new(
         "Figure 3: inter-node pt2pt latency (us), 1 vs 2 HCAs",
         "msg_bytes",
         vec!["1 HCA".into(), "2 HCAs".into()],
     );
-    for m in size_sweep(8 * 1024, 4 << 20) {
-        let l1 = pt2pt_latency_us(&one, Placement::InterNode, m).unwrap();
-        let l2 = pt2pt_latency_us(&two, Placement::InterNode, m).unwrap();
-        t.push(fmt_bytes(m), vec![l1, l2]);
+    for pr in &report.results {
+        for row in &pr.rows {
+            t.push(row.label.clone(), row.values.clone());
+        }
     }
     mha_bench::emit(&t, "fig03_latency");
     mha_bench::emit_run_summary(

@@ -1,6 +1,9 @@
 //! Figure 4: step structure of Direct Spread vs MHA-intra with 4 processes
-//! and 2 HCAs — the offloaded transfers leave only two CPU steps.
+//! and 2 HCAs — the offloaded transfers leave only two CPU steps. The two
+//! latency cells run as campaign points (see `mha_bench::campaign`); the
+//! op dumps are rendered at assembly.
 
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, ConfigKey};
 use mha_collectives::mha::{build_mha_intra, Offload};
 use mha_collectives::AllgatherAlgo;
 use mha_sched::{OpKind, ProcGrid};
@@ -34,8 +37,26 @@ fn main() {
     let msg = 4 << 20;
     let ds = AllgatherAlgo::DirectSpread.build(grid, msg, &spec).unwrap();
     let mha = build_mha_intra(grid, msg, Offload::Auto, &spec).unwrap();
-    let t_ds = sim.run(&ds.sched).unwrap().latency_us();
-    let t_mha = sim.run(&mha.sched).unwrap().latency_us();
+
+    let ds_sched = ds.sched.clone();
+    let mha_sched = mha.sched.clone();
+    let cells = vec![
+        CampaignPoint::sim(
+            "direct_spread",
+            ConfigKey::new("allgather/direct_spread", grid, msg, &spec),
+            spec.clone(),
+            move || Ok(ds_sched.clone()),
+        ),
+        CampaignPoint::sim(
+            "mha_intra",
+            ConfigKey::new("allgather/mha_intra_auto", grid, msg, &spec),
+            spec.clone(),
+            move || Ok(mha_sched.clone()),
+        ),
+    ];
+    let report = run_campaign(&cells, &CampaignConfig::from_env()).unwrap();
+    let t_ds = report.value(0);
+    let t_mha = report.value(1);
 
     let mut out = String::new();
     let _ = writeln!(

@@ -1,20 +1,42 @@
 //! Figure 5: latency as a function of the offload size, showing the
-//! V-shaped curve and the optimum the tuning algorithm finds.
+//! V-shaped curve and the optimum the tuning algorithm finds. Each
+//! (L, M) configuration is one campaign point (see `mha_bench::campaign`)
+//! whose tuner sweep returns the full curve plus a meta row carrying the
+//! tuned/analytic optima for the title.
 
 use mha_apps::report::Table;
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
 use mha_collectives::mha::tune_offload;
 use mha_simnet::ClusterSpec;
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
-    for (l, msg, tag) in [
+    let configs = [
         (4u32, 4usize << 20, "L4_4M"),
         (8, 1 << 20, "L8_1M"),
         (16, 1 << 20, "L16_1M"),
-    ] {
-        let (best, curve) = tune_offload(&spec, l, msg).unwrap();
-        let analytic = mha_collectives::mha::optimal_offload(&spec, l, msg);
+    ];
+    let points: Vec<CampaignPoint> = configs
+        .iter()
+        .map(|&(l, msg, tag)| {
+            let spec = spec.clone();
+            CampaignPoint::custom(tag, move |_seed| {
+                let (best, curve) = tune_offload(&spec, l, msg).map_err(|e| format!("{e:?}"))?;
+                let analytic = mha_collectives::mha::optimal_offload(&spec, l, msg);
+                let mut rows = vec![Row::new("meta", vec![f64::from(best), f64::from(analytic)])];
+                for pt in &curve {
+                    rows.push(Row::new(pt.d.to_string(), vec![pt.latency_us]));
+                }
+                Ok(rows)
+            })
+        })
+        .collect();
+    let report = run_campaign(&points, &CampaignConfig::from_env()).unwrap();
+    for (pi, &(l, msg, tag)) in configs.iter().enumerate() {
+        let rows = report.rows_for(pi);
+        let best = rows[0].values[0] as u32;
+        let analytic = rows[0].values[1] as u32;
         let mut t = Table::new(
             format!(
                 "Figure 5: offload size vs latency, L={l}, M={msg} \
@@ -23,8 +45,8 @@ fn main() {
             "offload_d",
             vec!["latency_us".into()],
         );
-        for pt in &curve {
-            t.push(pt.d.to_string(), vec![pt.latency_us]);
+        for row in &rows[1..] {
+            t.push(row.label.clone(), row.values.clone());
         }
         mha_bench::emit(&t, &format!("fig05_offload_{tag}"));
     }

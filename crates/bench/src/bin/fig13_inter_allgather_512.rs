@@ -1,13 +1,16 @@
 //! Figure 13: inter-node Allgather on 512 processes
-//! (16 nodes x 32 PPN), medium and large message sweeps.
+//! (16 nodes x 32 PPN), medium and large message sweeps. Both panels run
+//! as campaigns (see `mha_bench::campaign`).
 
-use mha_apps::{allgather_sweep, paper_contestants};
+use mha_apps::paper_contestants;
+use mha_bench::campaign::{allgather_sweep, CampaignConfig};
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
+    let cfg = CampaignConfig::from_env();
     let grid = ProcGrid::new(16, 32);
     let medium = allgather_sweep(
         "Figure 13a: Allgather latency (us), 512 processes, medium messages",
@@ -15,6 +18,7 @@ fn main() {
         &mha_bench::medium_sizes(),
         &paper_contestants(),
         &spec,
+        &cfg,
     )
     .unwrap();
     mha_bench::emit(&medium, "fig13_inter_allgather_512_medium");
@@ -24,6 +28,7 @@ fn main() {
         &mha_bench::large_sizes(),
         &paper_contestants(),
         &spec,
+        &cfg,
     )
     .unwrap();
     mha_bench::emit(&large, "fig13_inter_allgather_512_large");

@@ -1,13 +1,16 @@
 //! Figure 14: inter-node Allgather on 1024 processes
-//! (32 nodes x 32 PPN), medium and large message sweeps.
+//! (32 nodes x 32 PPN), medium and large message sweeps. Both panels run
+//! as campaigns (see `mha_bench::campaign`).
 
-use mha_apps::{allgather_sweep, paper_contestants};
+use mha_apps::paper_contestants;
+use mha_bench::campaign::{allgather_sweep, CampaignConfig};
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
+    let cfg = CampaignConfig::from_env();
     let grid = ProcGrid::new(32, 32);
     let medium = allgather_sweep(
         "Figure 14a: Allgather latency (us), 1024 processes, medium messages",
@@ -15,6 +18,7 @@ fn main() {
         &mha_bench::medium_sizes(),
         &paper_contestants(),
         &spec,
+        &cfg,
     )
     .unwrap();
     mha_bench::emit(&medium, "fig14_inter_allgather_1024_medium");
@@ -24,6 +28,7 @@ fn main() {
         &mha_bench::large_sizes(),
         &paper_contestants(),
         &spec,
+        &cfg,
     )
     .unwrap();
     mha_bench::emit(&large, "fig14_inter_allgather_1024_large");

@@ -1,10 +1,11 @@
 //! Figure 15: Ring-Allreduce at 32 PPN on 8/16/32 nodes. Both library
 //! surrogates run the classic flat Ring-Allreduce (identical behaviour at
 //! these sizes), so the table has one baseline column; MHA swaps the
-//! Allgather phase for the hierarchical design (Section 5.4).
+//! Allgather phase for the hierarchical design (Section 5.4). Each node
+//! count runs as one campaign (see `mha_bench::campaign`).
 
-use mha_apps::report::{fmt_bytes, Table};
 use mha_apps::Contestant;
+use mha_bench::campaign::{allreduce_sweep, CampaignConfig};
 use mha_collectives::Library;
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
@@ -12,28 +13,23 @@ use mha_simnet::ClusterSpec;
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
+    let cfg = CampaignConfig::from_env();
     let sizes_bytes = [64 * 1024usize, 2 << 20, 16 << 20, 128 << 20];
     for nodes in [8u32, 16, 32] {
         let grid = ProcGrid::new(nodes, 32);
-        let r = grid.nranks() as usize;
-        let mut t = Table::new(
-            format!(
+        let t = allreduce_sweep(
+            &format!(
                 "Figure 15: Allreduce latency (us), {nodes} nodes x 32 PPN \
                  (flat ring = HPC-X and MVAPICH2-X surrogate)"
             ),
-            "msg_bytes",
+            grid,
+            &sizes_bytes,
+            &[Contestant::Library(Library::HpcX), Contestant::MhaTuned],
             vec!["FlatRing".into(), "MHA".into()],
-        );
-        for &bytes in &sizes_bytes {
-            let elems = (bytes / 4).div_ceil(r) * r;
-            let flat = Contestant::Library(Library::HpcX)
-                .allreduce_latency_us(grid, elems, &spec)
-                .unwrap();
-            let mha = Contestant::MhaTuned
-                .allreduce_latency_us(grid, elems, &spec)
-                .unwrap();
-            t.push(fmt_bytes(bytes), vec![flat, mha]);
-        }
+            &spec,
+            &cfg,
+        )
+        .unwrap();
         mha_bench::emit(&t, &format!("fig15_allreduce_{nodes}n"));
     }
     let sim = mha_simnet::Simulator::new(spec.clone()).unwrap();

@@ -1,10 +1,13 @@
 //! Figure 17: synthetic Horovod-style training throughput (images/s),
 //! ResNet-50/101/152, batch 16 per worker, MVAPICH2-X vs MHA. (HPC-X is
 //! absent as in the paper — it could not be run with Horovod, Section 5.6.)
+//! Each (model × process count) pair is one campaign point (see
+//! `mha_bench::campaign`) running both contestants.
 
 use mha_apps::deep_learning::{run_training_step, DlConfig, RESNET101, RESNET152, RESNET50};
 use mha_apps::report::Table;
 use mha_apps::Contestant;
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
 use mha_collectives::Library;
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
@@ -12,7 +15,40 @@ use mha_simnet::ClusterSpec;
 fn main() {
     mha_bench::apply_check_flag();
     let spec = ClusterSpec::thor();
-    for model in [RESNET50, RESNET101, RESNET152] {
+    let models = [RESNET50, RESNET101, RESNET152];
+    let node_counts = [8u32, 16, 32];
+    let mut points = Vec::new();
+    for model in models {
+        for &nodes in &node_counts {
+            let grid = ProcGrid::new(nodes, 32);
+            let cfg = DlConfig {
+                grid,
+                model,
+                batch: 16,
+            };
+            let spec = spec.clone();
+            points.push(CampaignPoint::custom(
+                format!("{}/{}", model.name, grid.nranks()),
+                move |_seed| {
+                    let mva =
+                        run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec)
+                            .map_err(|e| format!("{e:?}"))?;
+                    let mha = run_training_step(cfg, Contestant::MhaTuned, &spec)
+                        .map_err(|e| format!("{e:?}"))?;
+                    Ok(vec![Row::new(
+                        grid.nranks().to_string(),
+                        vec![
+                            mva.images_per_sec,
+                            mha.images_per_sec,
+                            (mha.images_per_sec / mva.images_per_sec - 1.0) * 100.0,
+                        ],
+                    )])
+                },
+            ));
+        }
+    }
+    let report = run_campaign(&points, &CampaignConfig::from_env()).unwrap();
+    for (mi, model) in models.iter().enumerate() {
         let mut t = Table::new(
             format!(
                 "Figure 17: {} ({:.1} M params), images/sec, batch 16",
@@ -22,24 +58,11 @@ fn main() {
             "processes",
             vec!["MVAPICH2-X".into(), "MHA".into(), "improvement_pct".into()],
         );
-        for nodes in [8u32, 16, 32] {
-            let grid = ProcGrid::new(nodes, 32);
-            let cfg = DlConfig {
-                grid,
-                model,
-                batch: 16,
-            };
-            let mva =
-                run_training_step(cfg, Contestant::Library(Library::Mvapich2X), &spec).unwrap();
-            let mha = run_training_step(cfg, Contestant::MhaTuned, &spec).unwrap();
-            t.push(
-                grid.nranks().to_string(),
-                vec![
-                    mva.images_per_sec,
-                    mha.images_per_sec,
-                    (mha.images_per_sec / mva.images_per_sec - 1.0) * 100.0,
-                ],
-            );
+        for ni in 0..node_counts.len() {
+            let rows = report.rows_for(mi * node_counts.len() + ni);
+            for row in rows {
+                t.push(row.label.clone(), row.values.clone());
+            }
         }
         let tag = model.name.to_lowercase().replace('-', "");
         mha_bench::emit(&t, &format!("fig17_dl_{tag}"));

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
+
 use std::path::PathBuf;
 
 use mha_apps::report::{render_run_summary, Table};

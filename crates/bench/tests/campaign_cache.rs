@@ -1,0 +1,160 @@
+//! Cache-correctness properties of the campaign [`ScheduleCache`].
+//!
+//! Two bars: distinct build configurations must **never** share a cache
+//! entry (the [`ConfigKey`] is structural — a digest collision can at
+//! worst co-locate two keys in one shard, never alias them), and repeated
+//! lookups must reuse the first build's `Arc` bit-exactly, with exact
+//! hit/miss accounting.
+
+use std::sync::Arc;
+
+use mha_bench::campaign::{
+    run_campaign_with, CampaignConfig, CampaignPoint, ConfigKey, ScheduleCache,
+};
+use mha_bench::pt2pt_rails_schedule;
+use mha_sched::{FrozenSchedule, ProcGrid};
+use mha_simnet::ClusterSpec;
+use proptest::prelude::*;
+
+const FAMILIES: [&str; 4] = [
+    "allgather/ring",
+    "allgather/mha-inter-ring",
+    "allreduce/FlatRing",
+    "bcast/binomial",
+];
+
+/// A random build-relevant configuration; every field the key covers can
+/// vary.
+fn arb_key() -> impl Strategy<Value = ConfigKey> {
+    (
+        0usize..FAMILIES.len(),
+        1u32..5,
+        1u32..9,
+        1usize..=(1 << 16),
+        0u64..3,
+        any::<bool>(),
+    )
+        .prop_map(|(f, nodes, ppn, msg, salt, single_rail)| {
+            let spec = if single_rail {
+                ClusterSpec::thor_single_rail()
+            } else {
+                ClusterSpec::thor()
+            };
+            ConfigKey::new(FAMILIES[f], ProcGrid::new(nodes, ppn), msg, &spec).with_salt(salt)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structurally distinct keys get distinct entries (no aliasing, one
+    /// build each); repeated lookups of the same key share the original
+    /// `Arc` without re-running the build. Counters stay exact throughout.
+    #[test]
+    fn distinct_configs_never_share_an_entry(
+        keys in proptest::collection::vec(arb_key(), 1..12),
+    ) {
+        let mut distinct: Vec<ConfigKey> = Vec::new();
+        for k in keys {
+            if !distinct.contains(&k) {
+                distinct.push(k);
+            }
+        }
+        let cache = ScheduleCache::new(true);
+        let mut built: Vec<Arc<FrozenSchedule>> = Vec::new();
+        for k in &distinct {
+            built.push(cache.get_or_build(k, || Ok(pt2pt_rails_schedule(k.msg))).unwrap());
+        }
+        prop_assert_eq!(cache.len(), distinct.len());
+        prop_assert_eq!(cache.misses(), distinct.len() as u64);
+        prop_assert_eq!(cache.hits(), 0);
+        for i in 0..distinct.len() {
+            for j in 0..i {
+                prop_assert!(
+                    !Arc::ptr_eq(&built[i], &built[j]),
+                    "keys {:?} and {:?} aliased one schedule",
+                    distinct[i],
+                    distinct[j]
+                );
+            }
+        }
+        // Second lookups: all hits, same Arcs, and the build closure must
+        // not run again (it would fail the test by erroring).
+        for (k, first) in distinct.iter().zip(&built) {
+            let again = cache
+                .get_or_build(k, || Err("cache re-ran a memoized build".into()))
+                .unwrap();
+            prop_assert!(Arc::ptr_eq(first, &again));
+        }
+        prop_assert_eq!(cache.hits(), distinct.len() as u64);
+        prop_assert_eq!(cache.misses(), distinct.len() as u64);
+    }
+
+    /// Flipping any single field of a key — family, nodes, ppn, msg, spec
+    /// digest or salt — yields a different entry.
+    #[test]
+    fn every_key_field_separates_entries(base in arb_key()) {
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.family.push('!');
+        variants.push(v);
+        let mut v = base.clone();
+        v.nodes += 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.ppn += 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.msg += 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.spec_digest ^= 1;
+        variants.push(v);
+        variants.push(base.clone().with_salt(base.salt + 1));
+
+        let cache = ScheduleCache::new(true);
+        for k in &variants {
+            cache.get_or_build(k, || Ok(pt2pt_rails_schedule(64))).unwrap();
+        }
+        prop_assert_eq!(cache.len(), variants.len());
+        prop_assert_eq!(cache.misses(), variants.len() as u64);
+        prop_assert_eq!(cache.hits(), 0);
+    }
+}
+
+/// End-to-end cache reuse: points sharing a key build once within a run,
+/// a second campaign over a warm cache builds nothing, and every value is
+/// bit-identical to the cold run.
+#[test]
+fn warm_campaigns_hit_the_cache_and_match_cold_runs_bitwise() {
+    let spec = ClusterSpec::thor();
+    let shared = ConfigKey::new("test/shared", ProcGrid::new(2, 1), 4096, &spec);
+    let other = ConfigKey::new("test/other", ProcGrid::new(2, 1), 65536, &spec);
+    let points = vec![
+        CampaignPoint::sim("a", shared.clone(), spec.clone(), || {
+            Ok(pt2pt_rails_schedule(4096))
+        }),
+        CampaignPoint::sim("b", shared, spec.clone(), || Ok(pt2pt_rails_schedule(4096))),
+        CampaignPoint::sim("c", other, spec.clone(), || Ok(pt2pt_rails_schedule(65536))),
+    ];
+    let cfg = CampaignConfig::default().with_workers(4);
+
+    let cache = ScheduleCache::new(true);
+    let cold = run_campaign_with(&points, &cfg, &cache).unwrap();
+    assert_eq!(cold.cache_misses, 2, "two distinct keys, two builds");
+    assert_eq!(cold.cache_hits, 1, "the shared key's second point hits");
+
+    let warm = run_campaign_with(&points, &cfg, &cache).unwrap();
+    assert_eq!(warm.cache_misses, 2, "warm run must not build anything");
+    assert_eq!(warm.cache_hits, 1 + 3, "warm run hits once per point");
+
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(c.rows[0].values[0].to_bits(), w.rows[0].values[0].to_bits());
+        assert_eq!(c.rows[0].values[1].to_bits(), w.rows[0].values[1].to_bits());
+    }
+    // The points sharing one key simulated the same schedule: same cells.
+    assert_eq!(
+        cold.results[0].rows[0].values[0].to_bits(),
+        cold.results[1].rows[0].values[0].to_bits()
+    );
+}

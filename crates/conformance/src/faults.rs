@@ -15,13 +15,14 @@
 //!   simulated latency with `k` failed rails is within a multiplicative
 //!   envelope of the α–β model evaluated at `H − k` rails.
 
+use mha_bench::campaign::{run_campaign, simulator_for, CampaignConfig, CampaignPoint, Row};
 use mha_collectives::mha::{
     build_mha_inter, build_mha_inter_degraded, InterAlgo, MhaInterConfig, Offload,
 };
 use mha_exec::Mode;
 use mha_model::{mha_inter_latency, ModelParams, Phase2};
 use mha_sched::{InvariantProbe, ProcGrid};
-use mha_simnet::{ClusterSpec, FaultSpec, Simulator};
+use mha_simnet::{ClusterSpec, FaultSpec};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Structural + executor checks shared by both builds of a fault case.
@@ -188,15 +189,44 @@ impl FaultOracleReport {
 }
 
 /// Runs the fault-oracle sweep: `cfg.cases` random fault cases.
+///
+/// Cases are pre-sampled sequentially from the seeded RNG, fanned across
+/// the campaign worker pool (`MHA_CAMPAIGN_WORKERS`), and reassembled in
+/// case order — the report is independent of pool width.
 pub fn run_fault_oracle(cfg: &FaultOracleConfig) -> FaultOracleReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cases: Vec<FaultCase> = (0..cfg.cases)
+        .map(|_| sample_fault_case(&mut rng))
+        .collect();
+
+    let envelope = cfg.envelope;
+    let threads = cfg.threads;
+    let points: Vec<CampaignPoint> = cases
+        .into_iter()
+        .map(|case| {
+            let label = case.describe();
+            CampaignPoint::custom(label, move |_seed| {
+                Ok(vec![match check_fault_case(&case, envelope, threads) {
+                    Ok(checked) => Row::new("ok", vec![if checked { 1.0 } else { 0.0 }]),
+                    Err(e) => Row::note(case.describe(), e),
+                }])
+            })
+        })
+        .collect();
+    let mut pool = CampaignConfig::from_env();
+    pool.reps = 1;
+    let report = run_campaign(&points, &pool).expect("fault-oracle pool failed");
+
     let mut disagreements = Vec::new();
     let mut envelope_checked = 0;
-    for i in 0..cfg.cases {
-        let case = sample_fault_case(&mut rng);
-        match check_fault_case(&case, cfg.envelope, cfg.threads) {
-            Ok(checked) => envelope_checked += usize::from(checked),
-            Err(e) => disagreements.push(format!("fault case {i} [{}]: {e}", case.describe())),
+    for pr in &report.results {
+        for row in &pr.rows {
+            match &row.note {
+                Some(e) => {
+                    disagreements.push(format!("fault case {} [{}]: {e}", pr.point, row.label))
+                }
+                None => envelope_checked += row.values[0] as usize,
+            }
         }
     }
     FaultOracleReport {
@@ -228,7 +258,9 @@ pub fn check_fault_case(case: &FaultCase, envelope: f64, threads: usize) -> Resu
     verify_built(&deg, &spec, threads).map_err(|e| format!("degraded {e}"))?;
 
     // Simulate the degraded schedule under the fault timeline with the
-    // full invariant audit (includes the down-rail progress probe).
+    // full invariant audit (includes the down-rail progress probe). An
+    // empty down-set must not pay for a fault interpreter: `simulator_for`
+    // takes the engine's fault-free branch when the timeline is empty.
     let mut faults = FaultSpec::new(mha_simnet::DEFAULT_RETRY_TIMEOUT);
     for &r in &case.down {
         faults = faults.with_event(mha_simnet::FaultEvent {
@@ -238,8 +270,7 @@ pub fn check_fault_case(case: &FaultCase, envelope: f64, threads: usize) -> Resu
             kind: mha_simnet::FaultKind::Down,
         });
     }
-    let sim =
-        Simulator::with_faults(spec.clone(), faults).map_err(|e| format!("with_faults: {e}"))?;
+    let sim = simulator_for(&spec, Some(&faults)).map_err(|e| format!("simulator: {e}"))?;
     let mut audit = InvariantProbe::new();
     let result = sim
         .run_probed(&deg.sched, &mut audit)
@@ -301,6 +332,24 @@ mod tests {
             d.dedup();
             assert_eq!(d.len(), c.down.len(), "duplicate down rails");
         }
+    }
+
+    #[test]
+    fn a_zero_fault_case_stays_on_the_fault_free_path() {
+        // An empty down-set is a valid draw; it must check out clean and
+        // its simulator must take the fault-free branch (no interpreter).
+        let spec = ClusterSpec::thor_with_rails(4);
+        let empty = FaultSpec::new(mha_simnet::DEFAULT_RETRY_TIMEOUT);
+        assert!(!simulator_for(&spec, Some(&empty)).unwrap().faults_active());
+        let case = FaultCase {
+            rails: 4,
+            down: vec![],
+            grid: ProcGrid::new(2, 2),
+            msg: 64 * 1024,
+            inter: InterAlgo::Ring,
+            offload: Offload::Auto,
+        };
+        assert!(check_fault_case(&case, 2.0, 4).unwrap());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   message size and within a configurable multiplicative envelope of the
 //!   [`mha_model`] prediction.
 
+use std::sync::Arc;
+
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
 use mha_collectives::mha::{InterAlgo, MhaInterConfig, Offload};
 use mha_collectives::AllgatherAlgo;
 use mha_exec::{run_threaded_probed, BufferStore, Mode};
@@ -118,22 +121,54 @@ impl Probe for EndStamps {
 
 /// Runs the full oracle sweep: `cfg.cases` random configurations
 /// (families round-robin) plus the per-family model-envelope series.
+///
+/// Cases are pre-sampled sequentially from the seeded RNG — so the case
+/// sequence is identical to a serial sweep — then fanned across the
+/// campaign worker pool (`MHA_CAMPAIGN_WORKERS`); disagreements are
+/// reassembled in case order, so the report is independent of pool width.
 pub fn run_oracle(cfg: &OracleConfig) -> OracleReport {
     let spec = ClusterSpec::thor();
-    let sim = Simulator::new(spec.clone()).unwrap();
+    let sim = Arc::new(Simulator::new(spec.clone()).unwrap());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut by_family = [0usize; 3];
-    let mut disagreements = Vec::new();
 
+    let mut cases = Vec::with_capacity(cfg.cases);
     for i in 0..cfg.cases {
         let family = Family::ALL[i % Family::ALL.len()];
-        let case = sample_case(&mut rng, family);
+        cases.push(sample_case(&mut rng, family));
         by_family[family.index()] += 1;
-        if let Err(e) = check_case(&case, &sim, &spec, cfg.threads) {
-            disagreements.push(format!("case {i} [{}]: {e}", case.describe()));
-        }
     }
 
+    let threads = cfg.threads;
+    let points: Vec<CampaignPoint> = cases
+        .into_iter()
+        .map(|case| {
+            let sim = Arc::clone(&sim);
+            let spec = spec.clone();
+            let label = case.describe();
+            CampaignPoint::custom(label, move |_seed| {
+                Ok(vec![match check_case(&case, &sim, &spec, threads) {
+                    Ok(()) => Row::new("ok", vec![1.0]),
+                    Err(e) => Row::note(case.describe(), e),
+                }])
+            })
+        })
+        .collect();
+    // A disagreement is data, not a pool failure: each case reports
+    // through its row so one bad case never aborts the sweep. Reps are
+    // pinned to 1 — the sweep's case count is the repetition policy.
+    let mut pool = CampaignConfig::from_env();
+    pool.reps = 1;
+    let report = run_campaign(&points, &pool).expect("oracle pool failed");
+
+    let mut disagreements = Vec::new();
+    for pr in &report.results {
+        for row in &pr.rows {
+            if let Some(e) = &row.note {
+                disagreements.push(format!("case {} [{}]: {e}", pr.point, row.label));
+            }
+        }
+    }
     disagreements.extend(check_model_envelope(cfg.envelope));
 
     OracleReport {

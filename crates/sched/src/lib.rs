@@ -43,6 +43,7 @@
 
 mod buffer;
 mod builder;
+mod fingerprint;
 mod frozen;
 mod grid;
 mod ids;
@@ -55,6 +56,7 @@ mod validate;
 
 pub use buffer::{BufKind, BufferDecl, Loc};
 pub use builder::{RankCursors, ScheduleBuilder};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
 pub use ids::{BufId, NodeId, OpId, RankId};

@@ -35,6 +35,15 @@ impl ReadySet {
         }
     }
 
+    /// Rewinds the driver to the every-op-unfinished state for `fs`,
+    /// reusing the indegree vector's allocation. After this call the
+    /// driver is indistinguishable from `ReadySet::new(fs)`.
+    pub fn reset(&mut self, fs: &FrozenSchedule) {
+        self.indeg.clear();
+        self.indeg.extend_from_slice(fs.indegrees());
+        self.remaining = fs.n_ops();
+    }
+
     /// Records `op` as finished and invokes `on_ready` for every successor
     /// whose dependencies are now all satisfied, in CSR (creation) order.
     pub fn complete(&mut self, fs: &FrozenSchedule, op: u32, mut on_ready: impl FnMut(u32)) {

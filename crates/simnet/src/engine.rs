@@ -36,8 +36,17 @@ use crate::waterfill::{FlowSpec, WaterFiller};
 /// retry needs to re-issue the flow on a surviving rail.
 type RailRoute = (NodeId, NodeId, u8);
 
-/// One expanded flow: `(rate cap, weighted resources, bytes, rail route)`.
-type FlowSpecTuple = (f64, Vec<(ResourceId, f64)>, f64, Option<RailRoute>);
+/// One expanded flow before materialization: rate cap, byte count, rail
+/// route, and the half-open range of its `(resource, weight)` pairs inside
+/// the arena's flat emission scratch ([`EngineArena::spec_res`]).
+#[derive(Debug, Clone, Copy)]
+struct SpecTmp {
+    cap: f64,
+    bytes: f64,
+    route: Option<RailRoute>,
+    res_lo: u32,
+    res_hi: u32,
+}
 
 /// An error preventing simulation.
 #[derive(Debug)]
@@ -200,6 +209,7 @@ const RATE_EPS: f64 = 1e-12;
 
 /// Mutable simulation state, boxed into one struct so helper methods can
 /// borrow it wholesale.
+#[derive(Debug, Default)]
 struct EngineState {
     flows: Vec<Flow>,
     free_flows: Vec<u32>,
@@ -222,9 +232,58 @@ struct EngineState {
     faults_active: bool,
     /// Seconds a stalled flow waits before re-issuing.
     retry_timeout: f64,
+    /// Connected-component scratch for [`EngineState::recompute`].
+    comp: Vec<u32>,
+    /// DFS stack scratch for [`EngineState::recompute`].
+    dfs: Vec<ResourceId>,
 }
 
 impl EngineState {
+    /// Rewinds the state to what a freshly-constructed engine would hold
+    /// for a cluster with `n_res` resources, keeping every allocation —
+    /// the flow table (including each flow's inner resource vector), the
+    /// per-resource registries, the event heap and the water-fill scratch.
+    ///
+    /// Flow slots are reset to version 0 and `free_flows` is primed in
+    /// descending order, so a warm run pops slots 0, 1, 2, … — exactly the
+    /// indices a cold run assigns by pushing. Every field an event can
+    /// observe is therefore bit-identical between cold and warm runs.
+    fn reset(&mut self, n_res: usize, faults_active: bool, retry_timeout: f64) {
+        for f in &mut self.flows {
+            f.resources.clear();
+            f.cap = 1.0;
+            f.remaining = 0.0;
+            f.rate = 0.0;
+            f.last_update = 0.0;
+            f.version = 0;
+            f.alive = false;
+            f.stalled = false;
+            f.retries = 0;
+            f.route = None;
+        }
+        self.free_flows.clear();
+        self.free_flows.extend((0..self.flows.len() as u32).rev());
+        self.res_flows.resize_with(n_res, Vec::new);
+        for v in &mut self.res_flows {
+            v.clear();
+        }
+        self.resource_bytes.clear();
+        self.resource_bytes.resize(n_res, 0.0);
+        self.res_stamp.clear();
+        self.res_stamp.resize(n_res, 0);
+        self.flow_stamp.clear();
+        self.flow_stamp.resize(self.flows.len(), 0);
+        self.epoch = 0;
+        self.heap.clear();
+        self.seq = 0;
+        self.active_flows = 0;
+        self.max_active = 0;
+        self.cap_scale.clear();
+        self.cap_scale.resize(n_res, 1.0);
+        self.faults_active = faults_active;
+        self.retry_timeout = retry_timeout;
+    }
+
     fn push_event(&mut self, time: f64, ev: Ev) {
         self.seq += 1;
         self.heap.push(HeapEv {
@@ -246,8 +305,12 @@ impl EngineState {
     ) {
         self.epoch += 1;
         let e = self.epoch;
-        let mut comp: Vec<u32> = Vec::new();
-        let mut stack: Vec<ResourceId> = Vec::new();
+        // Scratch vectors live in the state (allocation-free after warm-up)
+        // but are taken out so the traversal below can borrow `self` freely.
+        let mut comp = std::mem::take(&mut self.comp);
+        comp.clear();
+        let mut stack = std::mem::take(&mut self.dfs);
+        stack.clear();
         for &r in seed_resources {
             if self.res_stamp[r.index()] != e {
                 self.res_stamp[r.index()] = e;
@@ -270,6 +333,8 @@ impl EngineState {
             }
         }
         if comp.is_empty() {
+            self.comp = comp;
+            self.dfs = stack;
             return;
         }
 
@@ -287,25 +352,24 @@ impl EngineState {
             f.last_update = now;
         }
 
-        // Water-fill the component.
-        let flows = &self.flows;
-        let specs: Vec<FlowSpec<'_>> = comp
-            .iter()
-            .map(|&fi| {
-                let f = &flows[fi as usize];
-                FlowSpec {
-                    cap: f.cap,
-                    resources: &f.resources,
-                }
-            })
-            .collect();
-        let cap_scale = &self.cap_scale;
-        self.filler.fill(
-            &specs,
-            |r| rmap.capacity(r) * cap_scale[r.index()],
-            &mut self.rates,
-        );
-        drop(specs);
+        // Water-fill the component, handing the filler a view straight into
+        // the flow table — no per-call spec vector.
+        {
+            let flows = &self.flows;
+            let cap_scale = &self.cap_scale;
+            self.filler.fill_with(
+                comp.len(),
+                |k| {
+                    let f = &flows[comp[k] as usize];
+                    FlowSpec {
+                        cap: f.cap,
+                        resources: &f.resources,
+                    }
+                },
+                |r| rmap.capacity(r) * cap_scale[r.index()],
+                &mut self.rates,
+            );
+        }
         probe.waterfill(now, comp.len());
 
         for (k, &fi) in comp.iter().enumerate() {
@@ -339,6 +403,52 @@ impl EngineState {
                 self.push_event(t_fin, Ev::Finish { flow, version });
             }
         }
+        self.comp = comp;
+        self.dfs = stack;
+    }
+}
+
+/// Reusable engine memory: the event heap, flow table (with each flow's
+/// inner resource vector), per-resource flow registries, readiness driver,
+/// water-fill scratch, flow-spec emission buffers and the resource map.
+///
+/// Repeated [`Simulator::run_in`] calls through one arena allocate nothing
+/// in the engine after the first (warm-up) run on a given schedule shape —
+/// only the returned [`SimResult`] is built fresh. Results are bit-identical
+/// to [`Simulator::run`]: every observable field is reset to its
+/// cold-start value and flow slots are recycled in cold-run index order.
+///
+/// An arena is not tied to one simulator or schedule; it revalidates its
+/// cached resource map against the run's `(grid, spec)` and rebuilds it on
+/// mismatch.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    st: EngineState,
+    ready: Option<ReadySet>,
+    op_flows_left: Vec<u32>,
+    rr_next_rail: Vec<u8>,
+    fault_events: Vec<FaultEvent>,
+    specs: Vec<SpecTmp>,
+    spec_res: Vec<(ResourceId, f64)>,
+    rails: Vec<u8>,
+    seeds: Vec<ResourceId>,
+    finish_res: Vec<(ResourceId, f64)>,
+    rmap: Option<RmapCache>,
+}
+
+/// The arena's cached resource layout, revalidated per run.
+#[derive(Debug)]
+struct RmapCache {
+    grid: ProcGrid,
+    spec: ClusterSpec,
+    rmap: ResourceMap,
+    labels: Vec<String>,
+}
+
+impl EngineArena {
+    /// An empty arena; buffers grow on first use and are kept thereafter.
+    pub fn new() -> Self {
+        EngineArena::default()
     }
 }
 
@@ -415,9 +525,29 @@ impl Simulator {
         self.faults.as_ref()
     }
 
+    /// Whether this simulator has a non-empty fault timeline. A
+    /// [`FaultSpec`] with zero events is treated exactly like no spec at
+    /// all: the engine skips the stall/retry machinery and the
+    /// surviving-rail scans, taking the same zero-overhead path as a
+    /// fault-free simulator.
+    pub fn faults_active(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| !f.events.is_empty())
+    }
+
     /// Simulates `sch` with default options; returns virtual-time results.
     pub fn run(&self, sch: &FrozenSchedule) -> Result<SimResult, SimError> {
         self.run_probed(sch, &mut NullProbe)
+    }
+
+    /// Simulates `sch` reusing `arena`'s allocations; bit-identical to
+    /// [`Simulator::run`] (see [`EngineArena`]). This is the hot path the
+    /// campaign runner replays cached schedules through.
+    pub fn run_in(
+        &self,
+        sch: &FrozenSchedule,
+        arena: &mut EngineArena,
+    ) -> Result<SimResult, SimError> {
+        self.run_probed_in(sch, &mut NullProbe, arena)
     }
 
     /// Simulates `sch` with explicit options.
@@ -446,13 +576,23 @@ impl Simulator {
         sch: &FrozenSchedule,
         probe: &mut dyn Probe,
     ) -> Result<SimResult, SimError> {
+        self.run_probed_in(sch, probe, &mut EngineArena::new())
+    }
+
+    /// [`Simulator::run_probed`] through a reusable [`EngineArena`].
+    pub fn run_probed_in(
+        &self,
+        sch: &FrozenSchedule,
+        probe: &mut dyn Probe,
+        arena: &mut EngineArena,
+    ) -> Result<SimResult, SimError> {
         if check_enabled() {
             let mut audit = mha_sched::InvariantProbe::new();
-            let r = self.run_probed_inner(sch, &mut mha_sched::Tee(probe, &mut audit))?;
+            let r = self.run_probed_inner(sch, &mut mha_sched::Tee(probe, &mut audit), arena)?;
             audit.assert_clean();
             Ok(r)
         } else {
-            self.run_probed_inner(sch, probe)
+            self.run_probed_inner(sch, probe, arena)
         }
     }
 
@@ -460,6 +600,7 @@ impl Simulator {
         &self,
         sch: &FrozenSchedule,
         probe: &mut dyn Probe,
+        arena: &mut EngineArena,
     ) -> Result<SimResult, SimError> {
         mha_sched::validate(sch, Some(self.spec.rails))?;
         let grid = *sch.grid();
@@ -474,49 +615,73 @@ impl Simulator {
                 .validate(self.spec.rails, grid.nodes())
                 .map_err(SimError::InvalidSpec)?;
         }
-        let rmap = ResourceMap::new(&grid, &self.spec);
+        let rmap_fresh = !arena
+            .rmap
+            .as_ref()
+            .is_some_and(|c| c.grid == grid && c.spec == self.spec);
+        if rmap_fresh {
+            let rmap = ResourceMap::new(&grid, &self.spec);
+            let labels = (0..rmap.len())
+                .map(|i| rmap.label(ResourceId(i as u32)))
+                .collect();
+            arena.rmap = Some(RmapCache {
+                grid,
+                spec: self.spec.clone(),
+                rmap,
+                labels,
+            });
+        }
+        let EngineArena {
+            st,
+            ready,
+            op_flows_left,
+            rr_next_rail,
+            fault_events,
+            specs,
+            spec_res,
+            rails,
+            seeds,
+            finish_res,
+            rmap: rmap_cache,
+        } = arena;
+        let cache = rmap_cache.as_ref().expect("resource map cached above");
+        let rmap = &cache.rmap;
+
         let n_ops = sch.n_ops();
         probe.begin_run(sch, "simnet");
         let narrate_flows = probe.wants_flows();
         if narrate_flows {
-            for i in 0..rmap.len() {
-                let r = ResourceId(i as u32);
-                probe.resource_decl(i as u32, &rmap.label(r), rmap.capacity(r));
+            for (i, label) in cache.labels.iter().enumerate() {
+                probe.resource_decl(i as u32, label, rmap.capacity(ResourceId(i as u32)));
             }
         }
 
-        let mut ready = ReadySet::new(sch);
+        match ready {
+            Some(r) => r.reset(sch),
+            None => *ready = Some(ReadySet::new(sch)),
+        }
+        let ready = ready.as_mut().expect("readiness driver installed above");
 
         let mut op_end = vec![f64::NAN; n_ops];
-        let mut op_flows_left = vec![0u32; n_ops];
-        let mut rr_next_rail: Vec<u8> = vec![0; grid.nodes() as usize];
+        op_flows_left.clear();
+        op_flows_left.resize(n_ops, 0);
+        rr_next_rail.clear();
+        rr_next_rail.resize(grid.nodes() as usize, 0);
 
-        let mut st = EngineState {
-            flows: Vec::new(),
-            free_flows: Vec::new(),
-            res_flows: vec![Vec::new(); rmap.len()],
-            resource_bytes: vec![0.0; rmap.len()],
-            res_stamp: vec![0; rmap.len()],
-            flow_stamp: Vec::new(),
-            epoch: 0,
-            heap: BinaryHeap::new(),
-            seq: 0,
-            filler: WaterFiller::new(),
-            rates: Vec::new(),
-            active_flows: 0,
-            max_active: 0,
-            cap_scale: vec![1.0; rmap.len()],
-            faults_active: self.faults.is_some(),
-            retry_timeout: self.faults.as_ref().map_or(0.0, |f| f.retry_timeout),
-        };
+        let faults_active = self.faults_active();
+        st.reset(
+            rmap.len(),
+            faults_active,
+            self.faults.as_ref().map_or(0.0, |f| f.retry_timeout),
+        );
 
         // Fault boundaries enter the heap before the roots so a fault at
         // t=0 rescales capacities before any same-instant op start. Without
         // a fault timeline no events are pushed and the heap order is
         // byte-identical to the fault-free engine.
-        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        fault_events.clear();
         if let Some(faults) = &self.faults {
-            fault_events = faults.events.clone();
+            fault_events.extend_from_slice(&faults.events);
             fault_events.sort_by(|a, b| a.time.total_cmp(&b.time));
             for (i, ev) in fault_events.iter().enumerate() {
                 st.push_event(ev.time, Ev::Fault { idx: i as u32 });
@@ -538,12 +703,21 @@ impl Simulator {
                 Ev::Start { op } => {
                     let oi = op as usize;
                     probe.op_start(op, time);
-                    let specs =
-                        self.op_flow_specs(sch, oi, &rmap, &grid, &mut rr_next_rail, &st.cap_scale);
-                    let mut seeds: Vec<ResourceId> = Vec::new();
+                    self.emit_op_flows(
+                        sch,
+                        oi,
+                        rmap,
+                        &grid,
+                        rr_next_rail,
+                        &st.cap_scale,
+                        specs,
+                        spec_res,
+                        rails,
+                    );
+                    seeds.clear();
                     let mut created = 0u32;
-                    for (cap, resources, bytes, route) in specs {
-                        if bytes <= 0.0 {
+                    for &sp in specs.iter() {
+                        if sp.bytes <= 0.0 {
                             continue;
                         }
                         created += 1;
@@ -566,23 +740,27 @@ impl Simulator {
                             st.flow_stamp.push(0);
                             st.flows.len() - 1
                         };
-                        let prev_version = st.flows[fi].version;
-                        st.flows[fi] = Flow {
-                            op,
-                            resources,
-                            cap,
-                            remaining: bytes,
-                            rate: 0.0,
-                            last_update: time,
-                            version: prev_version + 1,
-                            alive: true,
-                            stalled: false,
-                            retries: 0,
-                            route,
-                        };
-                        let no_resources = st.flows[fi].resources.is_empty();
-                        for ri in 0..st.flows[fi].resources.len() {
-                            let (r, _) = st.flows[fi].resources[ri];
+                        {
+                            // Field-wise refill keeps the slot's inner
+                            // resource vector allocation alive.
+                            let f = &mut st.flows[fi];
+                            f.op = op;
+                            f.resources.clear();
+                            f.resources.extend_from_slice(
+                                &spec_res[sp.res_lo as usize..sp.res_hi as usize],
+                            );
+                            f.cap = sp.cap;
+                            f.remaining = sp.bytes;
+                            f.rate = 0.0;
+                            f.last_update = time;
+                            f.version += 1;
+                            f.alive = true;
+                            f.stalled = false;
+                            f.retries = 0;
+                            f.route = sp.route;
+                        }
+                        let no_resources = sp.res_lo == sp.res_hi;
+                        for &(r, _) in &spec_res[sp.res_lo as usize..sp.res_hi as usize] {
                             st.res_flows[r.index()].push(fi as u32);
                             seeds.push(r);
                         }
@@ -615,12 +793,12 @@ impl Simulator {
                         op_end[oi] = time;
                         probe.op_end(op, time);
                         makespan = makespan.max(time);
-                        self.enqueue_ready(sch, op, time, &mut ready, probe, &mut st);
+                        self.enqueue_ready(sch, op, time, ready, probe, st);
                         continue;
                     }
                     op_flows_left[oi] = created;
                     if !seeds.is_empty() {
-                        st.recompute(time, &seeds, &rmap, probe);
+                        st.recompute(time, seeds, rmap, probe);
                     }
                 }
                 Ev::Finish { flow, version } => {
@@ -629,11 +807,11 @@ impl Simulator {
                         continue; // stale prediction
                     }
                     let flow_op: u32;
-                    let weighted: Vec<(ResourceId, f64)>;
+                    let moved: f64;
                     {
                         let f = &mut st.flows[fi];
                         let dt = time - f.last_update;
-                        let moved = (f.rate * dt).min(f.remaining);
+                        moved = (f.rate * dt).min(f.remaining);
                         f.remaining -= moved;
                         f.last_update = time;
                         debug_assert!(
@@ -644,16 +822,21 @@ impl Simulator {
                         f.alive = false;
                         f.version += 1;
                         flow_op = f.op;
-                        weighted = std::mem::take(&mut f.resources);
-                        for &(r, w) in &weighted {
-                            st.resource_bytes[r.index()] += moved * w;
-                        }
+                        // Copy-out instead of `mem::take` keeps the flow
+                        // slot's resource allocation for the next user.
+                        finish_res.clear();
+                        finish_res.extend_from_slice(&f.resources);
+                        f.resources.clear();
+                    }
+                    for &(r, w) in finish_res.iter() {
+                        st.resource_bytes[r.index()] += moved * w;
                     }
                     if narrate_flows {
                         probe.flow_end(flow_op, flow, time);
                     }
-                    let seeds: Vec<ResourceId> = weighted.iter().map(|&(r, _)| r).collect();
-                    for &r in &seeds {
+                    seeds.clear();
+                    seeds.extend(finish_res.iter().map(|&(r, _)| r));
+                    for &r in seeds.iter() {
                         let list = &mut st.res_flows[r.index()];
                         if let Some(pos) = list.iter().position(|&x| x == flow) {
                             list.swap_remove(pos);
@@ -668,10 +851,10 @@ impl Simulator {
                         op_end[oi] = time;
                         probe.op_end(flow_op, time);
                         makespan = makespan.max(time);
-                        self.enqueue_ready(sch, flow_op, time, &mut ready, probe, &mut st);
+                        self.enqueue_ready(sch, flow_op, time, ready, probe, st);
                     }
                     if !seeds.is_empty() {
-                        st.recompute(time, &seeds, &rmap, probe);
+                        st.recompute(time, seeds, rmap, probe);
                     }
                 }
                 Ev::Fault { idx } => {
@@ -681,19 +864,19 @@ impl Simulator {
                         FaultKind::Down => 0.0,
                         FaultKind::Up => 1.0,
                     };
-                    let nodes: Vec<NodeId> = match fe.node {
-                        Some(n) => vec![NodeId(n)],
-                        None => (0..grid.nodes()).map(NodeId).collect(),
+                    let (n_lo, n_hi) = match fe.node {
+                        Some(n) => (n, n + 1),
+                        None => (0, grid.nodes()),
                     };
-                    let mut seeds: Vec<ResourceId> = Vec::new();
-                    for n in nodes {
+                    seeds.clear();
+                    for n in (n_lo..n_hi).map(NodeId) {
                         for r in [rmap.tx(n, fe.rail), rmap.rx(n, fe.rail)] {
                             st.cap_scale[r.index()] = scale;
                             probe.resource_capacity(r.0, rmap.capacity(r) * scale, time);
                             seeds.push(r);
                         }
                     }
-                    st.recompute(time, &seeds, &rmap, probe);
+                    st.recompute(time, seeds, rmap, probe);
                 }
                 Ev::Retry { flow, version } => {
                     let fi = flow as usize;
@@ -747,10 +930,10 @@ impl Simulator {
                                     .collect();
                                 probe.flow_resources(st.flows[fi].op, flow, &res, time);
                             }
-                            let mut seeds = old;
-                            seeds.push(rmap.tx(sn, h));
-                            seeds.push(rmap.rx(dn, h));
-                            st.recompute(time, &seeds, &rmap, probe);
+                            let mut retry_seeds = old;
+                            retry_seeds.push(rmap.tx(sn, h));
+                            retry_seeds.push(rmap.rx(dn, h));
+                            st.recompute(time, &retry_seeds, rmap, probe);
                         }
                         None => {
                             // No rail survives: back off exponentially and
@@ -773,10 +956,7 @@ impl Simulator {
             ready.remaining()
         );
 
-        let resource_labels: Vec<String> = (0..rmap.len())
-            .map(|i| rmap.label(ResourceId(i as u32)))
-            .collect();
-        for (i, label) in resource_labels.iter().enumerate() {
+        for (i, label) in cache.labels.iter().enumerate() {
             probe.resource_sample(label, st.resource_bytes[i], rmap.capacities()[i]);
         }
         probe.end_run(makespan);
@@ -787,9 +967,9 @@ impl Simulator {
             trace: None,
             events,
             max_concurrent_flows: st.max_active,
-            resource_bytes: st.resource_bytes,
+            resource_bytes: st.resource_bytes.clone(),
             resource_capacity: rmap.capacities().to_vec(),
-            resource_labels,
+            resource_labels: cache.labels.clone(),
         })
     }
 
@@ -848,14 +1028,17 @@ impl Simulator {
         }
     }
 
-    /// Expands op `oi` into flow specs `(rate cap, weighted resources,
-    /// bytes, rail route)`. The round-robin rail for small `AllRails`
-    /// messages is chosen here — i.e. when the transfer actually starts,
-    /// matching an MPI pt2pt layer choosing the rail as the message hits
-    /// the wire. Under a fault timeline, `AllRails` resolves against the
-    /// rails currently up for this src/dst pair (`cap_scale > 0`),
-    /// re-tiling the stripe over the survivors.
-    fn op_flow_specs(
+    /// Expands op `oi` into flow specs, emitting `(cap, bytes, route)`
+    /// rows into `out` and the flows' `(resource, weight)` pairs into the
+    /// flat scratch `res` — no per-op allocation once the scratch buffers
+    /// are warm. The round-robin rail for small `AllRails` messages is
+    /// chosen here — i.e. when the transfer actually starts, matching an
+    /// MPI pt2pt layer choosing the rail as the message hits the wire.
+    /// Under an active (non-empty) fault timeline, `AllRails` resolves
+    /// against the rails currently up for this src/dst pair
+    /// (`cap_scale > 0`), re-tiling the stripe over the survivors.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_op_flows(
         &self,
         sch: &Schedule,
         oi: usize,
@@ -863,8 +1046,31 @@ impl Simulator {
         grid: &ProcGrid,
         rr_next_rail: &mut [u8],
         cap_scale: &[f64],
-    ) -> Vec<FlowSpecTuple> {
+        out: &mut Vec<SpecTmp>,
+        res: &mut Vec<(ResourceId, f64)>,
+        rails: &mut Vec<u8>,
+    ) {
+        out.clear();
+        res.clear();
         let spec = &self.spec;
+        let faults_active = self.faults_active();
+        // Seals the resources pushed since `lo` into one spec row.
+        fn seal(
+            out: &mut Vec<SpecTmp>,
+            res: &[(ResourceId, f64)],
+            lo: usize,
+            cap: f64,
+            bytes: f64,
+            route: Option<RailRoute>,
+        ) {
+            out.push(SpecTmp {
+                cap,
+                bytes,
+                route,
+                res_lo: lo as u32,
+                res_hi: res.len() as u32,
+            });
+        }
         match &sch.ops()[oi].kind {
             OpKind::Transfer {
                 src_rank,
@@ -878,23 +1084,22 @@ impl Simulator {
                 match channel {
                     Channel::Cma => {
                         let sck = socket_of(spec, grid, *dst_rank);
-                        let mut res = vec![
-                            (rmap.cpu(*dst_rank), 1.0),
-                            (rmap.mem(dn, sck), spec.cma_mem_weight),
-                        ];
+                        let lo = res.len();
+                        res.push((rmap.cpu(*dst_rank), 1.0));
+                        res.push((rmap.mem(dn, sck), spec.cma_mem_weight));
                         if let Some(numa) = &spec.numa {
                             if numa.cross_socket(grid, *src_rank, *dst_rank) {
                                 res.push((rmap.xsocket(dn), 1.0));
                             }
                         }
-                        vec![(spec.cma_bw, res, *len as f64, None)]
+                        seal(out, res, lo, spec.cma_bw, *len as f64, None);
                     }
-                    Channel::Rail(h) => vec![(
-                        spec.rail_bw,
-                        vec![(rmap.tx(sn, *h), 1.0), (rmap.rx(dn, *h), 1.0)],
-                        *len as f64,
-                        Some((sn, dn, *h)),
-                    )],
+                    Channel::Rail(h) => {
+                        let lo = res.len();
+                        res.push((rmap.tx(sn, *h), 1.0));
+                        res.push((rmap.rx(dn, *h), 1.0));
+                        seal(out, res, lo, spec.rail_bw, *len as f64, Some((sn, dn, *h)));
+                    }
                     Channel::AllRails => {
                         let rail_up = |r: u8| {
                             cap_scale[rmap.tx(sn, r).index()] > 0.0
@@ -907,36 +1112,31 @@ impl Simulator {
                             // to the fault-free engine. If every rail is
                             // down, issue on the full set and let the
                             // stall/retry machinery wait out the outage.
-                            let rails: Vec<u8> = if self.faults.is_some() {
-                                let up: Vec<u8> = (0..spec.rails).filter(|&r| rail_up(r)).collect();
-                                if up.is_empty() {
-                                    (0..spec.rails).collect()
-                                } else {
-                                    up
+                            rails.clear();
+                            if faults_active {
+                                rails.extend((0..spec.rails).filter(|&r| rail_up(r)));
+                                if rails.is_empty() {
+                                    rails.extend(0..spec.rails);
                                 }
                             } else {
-                                (0..spec.rails).collect()
-                            };
+                                rails.extend(0..spec.rails);
+                            }
                             let k = rails.len();
                             let base = *len / k;
                             let rem = *len % k;
-                            rails
-                                .iter()
-                                .enumerate()
-                                .map(|(i, &r)| {
-                                    let bytes = base + usize::from(i < rem);
-                                    (
-                                        spec.rail_bw,
-                                        vec![(rmap.tx(sn, r), 1.0), (rmap.rx(dn, r), 1.0)],
-                                        bytes as f64,
-                                        Some((sn, dn, r)),
-                                    )
-                                })
-                                .filter(|(_, _, b, _)| *b > 0.0)
-                                .collect()
+                            for (i, &r) in rails.iter().enumerate() {
+                                let bytes = base + usize::from(i < rem);
+                                if bytes == 0 {
+                                    continue;
+                                }
+                                let lo = res.len();
+                                res.push((rmap.tx(sn, r), 1.0));
+                                res.push((rmap.rx(dn, r), 1.0));
+                                seal(out, res, lo, spec.rail_bw, bytes as f64, Some((sn, dn, r)));
+                            }
                         } else {
                             let mut h = rr_next_rail[sn.index()];
-                            if self.faults.is_some() {
+                            if faults_active {
                                 // Skip dead rails; if all are down, keep
                                 // the scheduled one and stall.
                                 for _ in 0..spec.rails {
@@ -947,12 +1147,10 @@ impl Simulator {
                                 }
                             }
                             rr_next_rail[sn.index()] = (h + 1) % spec.rails;
-                            vec![(
-                                spec.rail_bw,
-                                vec![(rmap.tx(sn, h), 1.0), (rmap.rx(dn, h), 1.0)],
-                                *len as f64,
-                                Some((sn, dn, h)),
-                            )]
+                            let lo = res.len();
+                            res.push((rmap.tx(sn, h), 1.0));
+                            res.push((rmap.rx(dn, h), 1.0));
+                            seal(out, res, lo, spec.rail_bw, *len as f64, Some((sn, dn, h)));
                         }
                     }
                 }
@@ -965,13 +1163,15 @@ impl Simulator {
             } => {
                 let node = grid.node_of(*actor);
                 let sck = socket_of(spec, grid, *actor);
-                let mut res = vec![(rmap.cpu(*actor), 1.0), (rmap.mem(node, sck), 1.0)];
+                let lo = res.len();
+                res.push((rmap.cpu(*actor), 1.0));
+                res.push((rmap.mem(node, sck), 1.0));
                 // First-touch shm pages on another socket route the copy
                 // through the cross-socket interconnect.
                 if spec.numa.is_some() && Self::touches_remote_home(sch, &[*src, *dst], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
-                vec![(spec.copy_bw, res, *len as f64, None)]
+                seal(out, res, lo, spec.copy_bw, *len as f64, None);
             }
             OpKind::Reduce {
                 actor,
@@ -982,20 +1182,21 @@ impl Simulator {
             } => {
                 let node = grid.node_of(*actor);
                 let sck = socket_of(spec, grid, *actor);
-                let mut res = vec![
-                    (rmap.cpu(*actor), 1.0),
-                    (rmap.mem(node, sck), spec.reduce_mem_weight),
-                ];
+                let lo = res.len();
+                res.push((rmap.cpu(*actor), 1.0));
+                res.push((rmap.mem(node, sck), spec.reduce_mem_weight));
                 if spec.numa.is_some() && Self::touches_remote_home(sch, &[*acc, *operand], sck) {
                     res.push((rmap.xsocket(node), 1.0));
                 }
-                vec![(spec.reduce_bw(), res, *len as f64, None)]
+                seal(out, res, lo, spec.reduce_bw(), *len as f64, None);
             }
             OpKind::Compute { actor, flops } => {
                 // Convert FLOPs to CPU byte-equivalents so compute and copy
                 // contend for the same core in one unit system.
                 let bytes = *flops as f64 * spec.copy_bw / spec.flops_rate;
-                vec![(spec.copy_bw, vec![(rmap.cpu(*actor), 1.0)], bytes, None)]
+                let lo = res.len();
+                res.push((rmap.cpu(*actor), 1.0));
+                seal(out, res, lo, spec.copy_bw, bytes, None);
             }
         }
     }
@@ -1765,5 +1966,141 @@ mod tests {
         set_check_enabled(Some(false));
         assert!(!check_enabled());
         set_check_enabled(None);
+    }
+
+    /// A striped + round-robin + CMA mix, enough to exercise flow-slot
+    /// recycling and the water-fill component logic.
+    fn mixed_sched() -> FrozenSchedule {
+        let grid = ProcGrid::new(2, 2);
+        let mut b = ScheduleBuilder::new(grid, "mix");
+        let big = 256 * 1024;
+        let small = 4096;
+        for r in 0..2u32 {
+            let s = b.private_buf(RankId(r), big, "s");
+            let d = b.private_buf(RankId(r + 2), big, "d");
+            let t1 = b.transfer(
+                RankId(r),
+                RankId(r + 2),
+                Loc::new(s, 0),
+                Loc::new(d, 0),
+                big,
+                Channel::AllRails,
+                &[],
+                0,
+            );
+            let s2 = b.private_buf(RankId(r), small, "s2");
+            let d2 = b.private_buf(RankId(r + 2), small, "d2");
+            b.transfer(
+                RankId(r),
+                RankId(r + 2),
+                Loc::new(s2, 0),
+                Loc::new(d2, 0),
+                small,
+                Channel::AllRails,
+                &[t1],
+                1,
+            );
+        }
+        let s3 = b.private_buf(RankId(0), big, "s3");
+        let d3 = b.private_buf(RankId(1), big, "d3");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(s3, 0),
+            Loc::new(d3, 0),
+            big,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        b.finish().freeze()
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_runs() {
+        let sch = mixed_sched();
+        let sim = sim();
+        let cold = sim.run(&sch).unwrap();
+        let mut arena = EngineArena::new();
+        for rep in 0..5 {
+            let warm = sim.run_in(&sch, &mut arena).unwrap();
+            assert_eq!(
+                warm.makespan.to_bits(),
+                cold.makespan.to_bits(),
+                "rep {rep}: warm makespan diverged"
+            );
+            assert_eq!(warm.events, cold.events);
+            assert_eq!(warm.max_concurrent_flows, cold.max_concurrent_flows);
+            for (a, b) in warm.op_end.iter().zip(&cold.op_end) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in warm.resource_bytes.iter().zip(&cold.resource_bytes) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_revalidates_its_resource_map_across_grids_and_specs() {
+        let mut arena = EngineArena::new();
+        let a = mixed_sched();
+        let sim2 = sim();
+        let want_a = sim2.run(&a).unwrap().makespan;
+        assert_eq!(sim2.run_in(&a, &mut arena).unwrap().makespan, want_a);
+
+        // Different grid through the same arena.
+        let grid = ProcGrid::new(4, 1);
+        let mut b = ScheduleBuilder::new(grid, "other");
+        let len = 64 * 1024;
+        let s = b.private_buf(RankId(0), len, "s");
+        let d = b.private_buf(RankId(3), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(3),
+            Loc::new(s, 0),
+            Loc::new(d, 0),
+            len,
+            Channel::AllRails,
+            &[],
+            0,
+        );
+        let other = b.finish().freeze();
+        let want_b = sim2.run(&other).unwrap().makespan;
+        assert_eq!(sim2.run_in(&other, &mut arena).unwrap().makespan, want_b);
+
+        // Different cluster spec (single rail) through the same arena.
+        let single = Simulator::new(ClusterSpec::thor_single_rail()).unwrap();
+        let want_c = single.run(&other).unwrap().makespan;
+        assert_eq!(single.run_in(&other, &mut arena).unwrap().makespan, want_c);
+
+        // And back to the first shape again.
+        assert_eq!(sim2.run_in(&a, &mut arena).unwrap().makespan, want_a);
+    }
+
+    #[test]
+    fn empty_fault_spec_takes_the_fault_free_path() {
+        let empty = Simulator::with_faults(
+            ClusterSpec::thor(),
+            FaultSpec::new(crate::fault::DEFAULT_RETRY_TIMEOUT),
+        )
+        .unwrap();
+        assert!(
+            !empty.faults_active(),
+            "a zero-event FaultSpec must not arm the fault machinery"
+        );
+        assert!(Simulator::new(ClusterSpec::thor())
+            .unwrap()
+            .faults()
+            .is_none());
+        let armed =
+            Simulator::with_faults(ClusterSpec::thor(), FaultSpec::rail_down_at(0, 1.0)).unwrap();
+        assert!(armed.faults_active());
+
+        // And the gated run is bit-identical to the fault-free simulator.
+        let sch = mixed_sched();
+        let plain = sim().run(&sch).unwrap();
+        let gated = empty.run(&sch).unwrap();
+        assert_eq!(plain.makespan.to_bits(), gated.makespan.to_bits());
+        assert_eq!(plain.events, gated.events);
     }
 }

@@ -140,6 +140,28 @@ impl FaultSpec {
         Ok(())
     }
 
+    /// A stable structural digest of the timeline (see
+    /// [`mha_sched::Fingerprinter`]) — folded into campaign cache keys so
+    /// runs under different fault timelines never share a cached result.
+    pub fn digest(&self) -> u64 {
+        let mut fp = mha_sched::Fingerprinter::new();
+        fp.push_f64(self.retry_timeout);
+        fp.push_usize(self.events.len());
+        for ev in &self.events {
+            fp.push_f64(ev.time).push_u8(ev.rail);
+            match ev.node {
+                None => fp.push_bool(false),
+                Some(n) => fp.push_bool(true).push_u32(n),
+            };
+            match ev.kind {
+                FaultKind::Derate(f) => fp.push_u8(0).push_f64(f),
+                FaultKind::Down => fp.push_u8(1),
+                FaultKind::Up => fp.push_u8(2),
+            };
+        }
+        fp.finish().0
+    }
+
     /// Rails down fabric-wide from `time` on (ignoring per-node events) —
     /// what a failure-aware builder would exclude when re-striping.
     pub fn down_rails_at(&self, time: f64, rails: u8) -> Vec<u8> {

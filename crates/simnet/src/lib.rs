@@ -44,7 +44,9 @@ mod topology;
 mod trace;
 mod waterfill;
 
-pub use engine::{check_enabled, set_check_enabled, SimConfig, SimError, SimResult, Simulator};
+pub use engine::{
+    check_enabled, set_check_enabled, EngineArena, SimConfig, SimError, SimResult, Simulator,
+};
 pub use fault::{FaultEvent, FaultKind, FaultSpec, DEFAULT_RETRY_TIMEOUT};
 pub use metrics::{kind_breakdown, phase_breakdown, KindBreakdown};
 pub use microbench::{pt2pt_bandwidth_mbps, pt2pt_latency_us, size_sweep, Placement};

@@ -166,6 +166,41 @@ impl ClusterSpec {
         self.copy_alpha + len as f64 / self.copy_bw
     }
 
+    /// A stable structural digest of everything that affects simulated
+    /// timing (see [`mha_sched::Fingerprinter`] for the guarantees). Two
+    /// specs with equal digests price any schedule identically; the
+    /// campaign runner folds this into its schedule-cache key.
+    pub fn digest(&self) -> u64 {
+        let mut fp = mha_sched::Fingerprinter::new();
+        fp.push_u8(self.rails)
+            .push_f64(self.rail_bw)
+            .push_f64(self.rail_alpha)
+            .push_f64(self.rndv_extra)
+            .push_usize(self.rndv_threshold)
+            .push_usize(self.stripe_threshold)
+            .push_f64(self.cma_bw)
+            .push_f64(self.cma_alpha)
+            .push_f64(self.copy_bw)
+            .push_f64(self.copy_alpha)
+            .push_f64(self.mem_bw)
+            .push_f64(self.flops_rate)
+            .push_u32(self.cores_per_node)
+            .push_f64(self.cma_mem_weight)
+            .push_f64(self.reduce_mem_weight);
+        match &self.numa {
+            None => {
+                fp.push_bool(false);
+            }
+            Some(n) => {
+                fp.push_bool(true)
+                    .push_u32(n.sockets)
+                    .push_f64(n.xsocket_bw)
+                    .push_f64(n.xsocket_alpha);
+            }
+        }
+        fp.finish().0
+    }
+
     /// Sanity-checks the physical plausibility of the spec.
     pub fn validate(&self) -> Result<(), String> {
         let pos = [

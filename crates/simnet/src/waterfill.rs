@@ -60,29 +60,46 @@ impl WaterFiller {
     pub fn fill(
         &mut self,
         flows: &[FlowSpec<'_>],
+        capacity: impl FnMut(ResourceId) -> f64,
+        rates: &mut Vec<f64>,
+    ) {
+        self.fill_with(flows.len(), |fi| flows[fi], capacity, rates)
+    }
+
+    /// [`WaterFiller::fill`] over a *view*: `flow(i)` yields the `i`-th
+    /// flow's spec on demand (it may be called several times per flow and
+    /// must be pure). This lets the engine water-fill straight out of its
+    /// flow table without assembling a spec vector, so steady-state calls
+    /// allocate nothing: every scratch structure here — including the
+    /// per-resource member lists — keeps its buffers across calls.
+    pub fn fill_with<'a>(
+        &mut self,
+        n: usize,
+        mut flow: impl FnMut(usize) -> FlowSpec<'a>,
         mut capacity: impl FnMut(ResourceId) -> f64,
         rates: &mut Vec<f64>,
     ) {
         rates.clear();
-        rates.resize(flows.len(), 0.0);
-        if flows.is_empty() {
+        rates.resize(n, 0.0);
+        if n == 0 {
             return;
         }
 
         // Un-map the previous component's resources (cheap: O(previous
-        // component size)), then rebuild for this call.
+        // component size)), then rebuild for this call. `flows_of` entries
+        // are recycled slot-wise below instead of dropped.
         for &r in &self.local_ids {
             self.local_of[r.index()] = u32::MAX;
         }
         self.local_ids.clear();
         self.rem.clear();
         self.wsum.clear();
-        self.flows_of.clear();
         self.fixed.clear();
-        self.fixed.resize(flows.len(), false);
+        self.fixed.resize(n, false);
 
         // Build the local resource table: real resources first…
-        for (fi, f) in flows.iter().enumerate() {
+        for fi in 0..n {
+            let f = flow(fi);
             debug_assert!(
                 f.cap.is_finite() && f.cap > 0.0,
                 "flow cap must be positive"
@@ -99,7 +116,11 @@ impl WaterFiller {
                         self.local_ids.push(r);
                         self.rem.push(capacity(r));
                         self.wsum.push(0.0);
-                        self.flows_of.push(Vec::new());
+                        if self.flows_of.len() <= li {
+                            self.flows_of.push(Vec::new());
+                        } else {
+                            self.flows_of[li].clear();
+                        }
                         li
                     }
                     li => li as usize,
@@ -109,15 +130,21 @@ impl WaterFiller {
             }
         }
         // …then one virtual resource per flow for its rate cap.
-        for (fi, f) in flows.iter().enumerate() {
-            self.rem.push(f.cap);
+        let virt_base = self.local_ids.len();
+        for fi in 0..n {
+            self.rem.push(flow(fi).cap);
             self.wsum.push(1.0);
-            self.flows_of.push(vec![fi as u32]);
+            let li = virt_base + fi;
+            if self.flows_of.len() <= li {
+                self.flows_of.push(Vec::new());
+            } else {
+                self.flows_of[li].clear();
+            }
+            self.flows_of[li].push(fi as u32);
         }
 
         let nres = self.rem.len();
-        let virt_base = nres - flows.len();
-        let mut unfixed = flows.len();
+        let mut unfixed = n;
         let mut level = 0.0f64;
 
         while unfixed > 0 {
@@ -154,7 +181,7 @@ impl WaterFiller {
                     rates[fi] = level;
                     unfixed -= 1;
                     // Retire the flow from all its other resources.
-                    for &(r, w) in flows[fi].resources {
+                    for &(r, w) in flow(fi).resources {
                         let other = self.local_of[r.index()] as usize;
                         self.wsum[other] -= w;
                     }
