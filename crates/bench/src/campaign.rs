@@ -63,6 +63,13 @@ pub struct ConfigKey {
     /// Disambiguates build inputs not covered by the other fields
     /// (defaults to 0; see [`ConfigKey::with_salt`]).
     pub salt: u64,
+    /// [`mha_sched::Topology::digest`] of the tree a composed schedule was
+    /// built over — shape *and* per-level link parameters. Zero for
+    /// grid-keyed builds ([`ConfigKey::new`]), whose shape the
+    /// `nodes`/`ppn` fields already pin; set by
+    /// [`ConfigKey::for_topology`], so a 3-level and a 2-level build of
+    /// the same `nodes × ppn` can never share a cache entry.
+    pub topo_digest: u64,
 }
 
 impl ConfigKey {
@@ -75,6 +82,24 @@ impl ConfigKey {
             msg,
             spec_digest: spec.digest(),
             salt: 0,
+            topo_digest: 0,
+        }
+    }
+
+    /// A key for a schedule composed over an explicit topology tree: the
+    /// grid fields come from the tree's flattening and `topo_digest` pins
+    /// the full tree, so distinct trees (deeper, re-shaped, or re-linked)
+    /// never alias even when they flatten to the same grid.
+    pub fn for_topology(
+        family: impl Into<String>,
+        topo: &mha_sched::Topology,
+        msg: usize,
+        spec: &ClusterSpec,
+    ) -> Self {
+        let grid = topo.flatten();
+        ConfigKey {
+            topo_digest: topo.digest(),
+            ..Self::new(family, grid, msg, spec)
         }
     }
 
@@ -92,7 +117,8 @@ impl ConfigKey {
             .push_u32(self.ppn)
             .push_usize(self.msg)
             .push_u64(self.spec_digest)
-            .push_u64(self.salt);
+            .push_u64(self.salt)
+            .push_u64(self.topo_digest);
         fp.finish().0
     }
 }
@@ -771,5 +797,30 @@ mod tests {
         );
         assert_ne!(base, base.clone().with_salt(1));
         assert_eq!(base, ConfigKey::new("f", ProcGrid::new(2, 4), 1024, &spec));
+    }
+
+    #[test]
+    fn topology_keys_pin_the_full_tree() {
+        use mha_sched::{TopoLevel, Topology};
+        let spec = ClusterSpec::thor();
+        let grid_key = ConfigKey::new("f", ProcGrid::new(2, 4), 1024, &spec);
+        let two = Topology::two_level(2, 4);
+        let two_key = ConfigKey::for_topology("f", &two, 1024, &spec);
+        // Same flattened grid, but the explicit tree is a distinct key.
+        assert_eq!((two_key.nodes, two_key.ppn), (2, 4));
+        assert_ne!(grid_key, two_key);
+        // Deeper tree over the same grid: distinct again.
+        let three = Topology::three_level(2, 2, 2);
+        assert_ne!(two_key, ConfigKey::for_topology("f", &three, 1024, &spec));
+        // Same shape, different link parameters: distinct.
+        let fast = Topology::new(vec![
+            TopoLevel::new(2).with_link(4, 24.0e9, 1.0e-6),
+            TopoLevel::new(4),
+        ]);
+        assert_ne!(two_key, ConfigKey::for_topology("f", &fast, 1024, &spec));
+        // Same tree: equal key and digest.
+        let again = ConfigKey::for_topology("f", &Topology::two_level(2, 4), 1024, &spec);
+        assert_eq!(two_key, again);
+        assert_eq!(two_key.digest(), again.digest());
     }
 }

@@ -1,0 +1,86 @@
+//! Satellite property of the topology-aware cache key: two campaign
+//! points built over **distinct topology trees must never alias a cache
+//! entry**, even when the trees flatten onto the same `nodes × ppn` grid —
+//! a deeper tree, a re-shaped tree, or the same shape with different link
+//! parameters all build different schedules (or price differently), so a
+//! shared entry would silently serve the wrong schedule.
+
+use std::sync::Arc;
+
+use mha_bench::campaign::{ConfigKey, ScheduleCache};
+use mha_bench::pt2pt_rails_schedule;
+use mha_sched::{TopoLevel, Topology};
+use mha_simnet::ClusterSpec;
+use proptest::prelude::*;
+
+/// A random topology tree: depth 1–4, fanouts 1–4, and per-level link
+/// parameters drawn from a small palette so that equal-shape trees with
+/// different speeds are generated often enough to matter.
+fn arb_tree() -> impl Strategy<Value = Topology> {
+    proptest::collection::vec((1u32..=4, 0usize..3), 1..=4).prop_map(|levels| {
+        Topology::new(
+            levels
+                .into_iter()
+                .map(|(fanout, link)| {
+                    let (rails, bw, alpha) = match link {
+                        0 => (1, 11.0e9, 0.8e-6),
+                        1 => (2, 12.0e9, 1.6e-6),
+                        _ => (1, 7.0e9, 0.15e-6),
+                    };
+                    TopoLevel::new(fanout).with_link(rails, bw, alpha)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Distinct trees → distinct keys → distinct cache entries; equal
+    /// trees → one shared entry. The build closures are tagged so a
+    /// mis-shared entry is also visible in the schedule itself.
+    #[test]
+    fn distinct_trees_never_alias_a_cache_entry(
+        a in arb_tree(),
+        b in arb_tree(),
+        msg in 1usize..=(1 << 14),
+    ) {
+        let spec = ClusterSpec::thor();
+        let ka = ConfigKey::for_topology("composed", &a, msg, &spec);
+        let kb = ConfigKey::for_topology("composed", &b, msg, &spec);
+        prop_assert_eq!(a == b, ka == kb, "key equality must mirror tree equality");
+
+        let cache = ScheduleCache::new(true);
+        let sa = cache.get_or_build(&ka, || Ok(pt2pt_rails_schedule(8))).unwrap();
+        let sb = cache.get_or_build(&kb, || Ok(pt2pt_rails_schedule(16))).unwrap();
+        if a == b {
+            prop_assert!(Arc::ptr_eq(&sa, &sb), "equal trees must share the entry");
+            prop_assert_eq!(cache.misses(), 1);
+            prop_assert_eq!(cache.hits(), 1);
+        } else {
+            prop_assert!(!Arc::ptr_eq(&sa, &sb), "distinct trees must not alias");
+            prop_assert_eq!(cache.misses(), 2);
+            prop_assert_eq!(cache.len(), 2);
+        }
+    }
+
+    /// The key digest (shard selector / diagnostics) also separates trees:
+    /// across random pairs a digest collision between distinct trees would
+    /// at worst co-locate keys in a shard, but equal digests for *equal*
+    /// trees must hold exactly.
+    #[test]
+    fn tree_digest_is_stable_and_shape_sensitive(t in arb_tree()) {
+        let spec = ClusterSpec::thor();
+        let k1 = ConfigKey::for_topology("composed", &t, 64, &spec);
+        let k2 = ConfigKey::for_topology("composed", &t, 64, &spec);
+        prop_assert_eq!(k1.digest(), k2.digest());
+        // Appending a level always changes the key, even a fanout-1 level
+        // that leaves the rank count unchanged.
+        let mut deeper_levels = t.levels().to_vec();
+        deeper_levels.push(TopoLevel::new(1));
+        let deeper = Topology::new(deeper_levels);
+        let kd = ConfigKey::for_topology("composed", &deeper, 64, &spec);
+        prop_assert!(k1 != kd, "fanout-1 extension must still re-key");
+    }
+}

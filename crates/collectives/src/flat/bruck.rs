@@ -12,11 +12,18 @@ use crate::ctx::{Built, Ctx};
 
 /// Builds a Bruck Allgather.
 pub fn build_bruck(grid: ProcGrid, msg: usize) -> Built {
-    let r = grid.nranks();
     let mut ctx = Ctx::new(grid, msg, "flat-bruck");
     if ctx.is_degenerate() {
         return ctx.finish_degenerate();
     }
+    emit_bruck(&mut ctx);
+    ctx.finish()
+}
+
+/// Emits the Bruck rounds into an existing non-degenerate context.
+pub(crate) fn emit_bruck(ctx: &mut Ctx) {
+    let r = ctx.grid().nranks();
+    let msg = ctx.msg;
 
     // Per-rank rotated staging buffer: slot j holds block (rank + j) mod N.
     let tmp: Vec<_> = (0..r)
@@ -101,7 +108,6 @@ pub fn build_bruck(grid: ProcGrid, msg: usize) -> Built {
             ctx.cur.advance(rid, c2);
         }
     }
-    ctx.finish()
 }
 
 #[cfg(test)]

@@ -13,11 +13,18 @@ use crate::ctx::{Built, Ctx};
 
 /// Builds a flat Direct-Spread Allgather.
 pub fn build_direct_spread(grid: ProcGrid, msg: usize) -> Built {
-    let r = grid.nranks();
     let mut ctx = Ctx::new(grid, msg, "flat-direct-spread");
     if ctx.is_degenerate() {
         return ctx.finish_degenerate();
     }
+    emit_direct_spread(&mut ctx);
+    ctx.finish()
+}
+
+/// Emits the dissemination exchange into an existing non-degenerate context.
+pub(crate) fn emit_direct_spread(ctx: &mut Ctx) {
+    let r = ctx.grid().nranks();
+    let msg = ctx.msg;
     ctx.self_copies_all(0);
     for i in 1..r {
         for dst in 0..r {
@@ -42,7 +49,6 @@ pub fn build_direct_spread(grid: ProcGrid, msg: usize) -> Built {
             ctx.cur.advance(dst_r, t);
         }
     }
-    ctx.finish()
 }
 
 #[cfg(test)]

@@ -28,6 +28,15 @@ pub fn build_recursive_doubling(grid: ProcGrid, msg: usize) -> Result<Built, Bui
     if ctx.is_degenerate() {
         return Ok(ctx.finish_degenerate());
     }
+    emit_recursive_doubling(&mut ctx);
+    Ok(ctx.finish())
+}
+
+/// Emits the RD exchange into an existing context. The caller has already
+/// checked the power-of-two precondition and non-degeneracy.
+pub(crate) fn emit_recursive_doubling(ctx: &mut Ctx) {
+    let r = ctx.grid().nranks();
+    let msg = ctx.msg;
     ctx.self_copies_all(0);
     let steps = r.trailing_zeros();
     for k in 0..steps {
@@ -62,7 +71,6 @@ pub fn build_recursive_doubling(grid: ProcGrid, msg: usize) -> Result<Built, Bui
             ctx.cur.advance(RankId(me), new_ops[me as usize]);
         }
     }
-    Ok(ctx.finish())
 }
 
 #[cfg(test)]

@@ -7,6 +7,13 @@
 //! HCA offload, hierarchical MHA-inter with an overlapped shared-memory
 //! pipeline), Ring Allreduce with a pluggable Allgather phase, and the
 //! HPC-X / MVAPICH2-X library surrogates the evaluation compares against.
+//!
+//! Hierarchical families are emitted by one **generic composer**
+//! ([`build_composed`]): a [`ComposePlan`] assigns a [`LevelAlgo`] to each
+//! level of an `mha_sched::Topology` tree (exchange at the top, import
+//! rounds through the middle, leader gather at the leaves), so two-level
+//! MHA-inter and the 3-level NUMA-aware design are instantiations of the
+//! same recursion rather than separate emitters.
 
 #![warn(missing_docs)]
 
@@ -16,6 +23,7 @@ mod alltoall;
 mod baselines;
 mod bcast;
 mod chunks;
+mod compose;
 mod ctx;
 pub mod flat;
 pub mod mha;
@@ -28,5 +36,6 @@ pub use alltoall::{build_direct_alltoall, build_mha_alltoall, AlltoallBuilt};
 pub use baselines::{mha_default_allgather, Library};
 pub use bcast::{build_binomial_bcast, build_mha_bcast, BcastBuilt};
 pub use chunks::{chunk_bounds, chunk_bounds_aligned, chunk_len};
+pub use compose::{build_composed, build_composed_degraded, ComposePlan, LevelAlgo};
 pub use ctx::{BuildError, Built};
 pub use tuning::{build_tuned_mha, select_inter_algo, InterChoice, TuneError};

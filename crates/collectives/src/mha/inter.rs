@@ -18,12 +18,11 @@
 //! chunks starve it (Figure 7) — both fall out of the dependency structure
 //! here, nothing is hard-coded.
 
-use mha_sched::{BufId, Channel, Loc, OpId, OpKind, ProcGrid, RailSet, RankId};
+use mha_sched::{ProcGrid, RailSet, Topology};
 use mha_simnet::ClusterSpec;
 
-use crate::chunks::chunk_bounds;
+use crate::compose::{emit_plan, ComposePlan};
 use crate::ctx::{BuildError, Built, Ctx};
-use crate::mha::intra::intra_into;
 use crate::mha::offload::{resolve_offload, Offload};
 
 /// The inter-leader exchange algorithm for phase 2.
@@ -56,16 +55,6 @@ impl Default for MhaInterConfig {
             overlap: true,
         }
     }
-}
-
-/// A chunk that arrived at a node leader during phase 2.
-struct Arrival {
-    /// First global rank-block of the chunk.
-    start_block: u32,
-    /// Number of rank-blocks.
-    nblocks: u32,
-    /// The transfer that delivered it.
-    op: OpId,
 }
 
 /// Builds the hierarchical MHA Allgather.
@@ -127,72 +116,6 @@ pub fn build_mha_inter_degraded(
     Ok(ctx.finish())
 }
 
-/// One phase-2 leader-to-leader chunk transfer, resolved against the
-/// surviving-rail set. With a full set this *is* the fault-oblivious
-/// `AllRails` transfer. Degraded, the chunk is re-tiled into per-rail
-/// stripes over the survivors (small chunks are pinned round-robin to one
-/// survivor, mirroring the pt2pt layer's policy below the stripe
-/// threshold), joined by a zero-flop marker at the receiving leader so
-/// downstream deps see one op.
-#[allow(clippy::too_many_arguments)]
-fn leader_chunk_transfer(
-    ctx: &mut Ctx,
-    rails: &RailSet,
-    spec: &ClusterSpec,
-    rr: &mut usize,
-    lsrc: RankId,
-    ldst: RankId,
-    src: Loc,
-    dst: Loc,
-    len: usize,
-    deps: &[OpId],
-    step: u32,
-) -> OpId {
-    if rails.is_full() {
-        return ctx
-            .b
-            .transfer(lsrc, ldst, src, dst, len, Channel::AllRails, deps, step);
-    }
-    let k = rails.len();
-    if !spec.stripes(len) {
-        let h = rails.rails()[*rr % k];
-        *rr += 1;
-        return ctx
-            .b
-            .transfer(lsrc, ldst, src, dst, len, Channel::Rail(h), deps, step);
-    }
-    let mut parts: Vec<OpId> = Vec::with_capacity(k);
-    for (i, &h) in rails.rails().iter().enumerate() {
-        let (lo, hi) = chunk_bounds(len, k, i);
-        if hi == lo {
-            continue;
-        }
-        let t = ctx.b.transfer(
-            lsrc,
-            ldst,
-            Loc::new(src.buf, src.offset + lo),
-            Loc::new(dst.buf, dst.offset + lo),
-            hi - lo,
-            Channel::Rail(h),
-            deps,
-            step,
-        );
-        parts.push(t);
-    }
-    if parts.len() == 1 {
-        return parts[0];
-    }
-    ctx.b.push(
-        OpKind::Compute {
-            actor: ldst,
-            flops: 0,
-        },
-        &parts,
-        step,
-        "stripe-join",
-    )
-}
-
 /// Emits the hierarchical exchange into an existing context (also used as
 /// the Allgather phase of the MHA-accelerated Ring-Allreduce).
 pub(crate) fn emit_mha_inter(
@@ -203,7 +126,8 @@ pub(crate) fn emit_mha_inter(
     emit_mha_inter_with_rails(ctx, cfg, spec, &RailSet::full(spec.rails))
 }
 
-/// [`emit_mha_inter`] generalized over the surviving-rail set.
+/// [`emit_mha_inter`] generalized over the surviving-rail set: the 2-level
+/// `[Exchange, Gather]` instantiation of the generic composer.
 pub(crate) fn emit_mha_inter_with_rails(
     ctx: &mut Ctx,
     cfg: MhaInterConfig,
@@ -211,171 +135,21 @@ pub(crate) fn emit_mha_inter_with_rails(
     rails: &RailSet,
 ) -> Result<(), BuildError> {
     let grid = ctx.grid();
-    let msg = ctx.msg;
-    let n = grid.nodes();
-    let l = grid.ppn();
-    if cfg.inter == InterAlgo::RecursiveDoubling && !n.is_power_of_two() {
-        return Err(BuildError::RequiresPowerOfTwo {
-            what: "nodes",
-            got: n,
-        });
-    }
-    if ctx.is_degenerate() {
-        ctx.emit_degenerate();
-        return Ok(());
-    }
-    let d = resolve_offload(cfg.offload, spec, l, msg);
-
-    // ---- Phase 1: node-level aggregation -------------------------------
-    let mut leader_fill: Vec<Vec<OpId>> = Vec::with_capacity(n as usize);
-    for node in grid.node_ids() {
-        let fills = intra_into(ctx, node, d, 0);
-        leader_fill.push(fills.into_iter().next().expect("ppn >= 1"));
-    }
-    if n == 1 {
-        return Ok(());
-    }
-
-    // ---- Phase 2: inter-leader exchange ---------------------------------
-    let node_block = l as usize * msg;
-    let leader = |nd: u32| grid.leader_of(mha_sched::NodeId(nd));
-    // Chunk location inside any rank's receive buffer / the shm segment.
-    let chunk_loc = |buf: BufId, start_block: u32| Loc::new(buf, start_block as usize * msg);
-
-    let mut arrivals: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
-    let mut rr = 0usize; // round-robin cursor for degraded small chunks
-    match cfg.inter {
-        InterAlgo::Ring => {
-            // avail[nd]: ops guaranteeing the block node nd sends this step.
-            let mut avail: Vec<Vec<OpId>> = leader_fill.clone();
-            let mut prev_recv: Vec<Option<OpId>> = vec![None; n as usize];
-            for s in 0..n - 1 {
-                let mut next_avail = Vec::with_capacity(n as usize);
-                let mut next_recv = Vec::with_capacity(n as usize);
-                for nd in 0..n {
-                    let sender = (nd + n - 1) % n;
-                    let block_node = (sender + n - s) % n;
-                    let mut deps = avail[sender as usize].clone();
-                    deps.extend(prev_recv[nd as usize]);
-                    let (lsrc, ldst) = (leader(sender), leader(nd));
-                    let t = leader_chunk_transfer(
-                        ctx,
-                        rails,
-                        spec,
-                        &mut rr,
-                        lsrc,
-                        ldst,
-                        chunk_loc(ctx.recv[lsrc.index()], block_node * l),
-                        chunk_loc(ctx.recv[ldst.index()], block_node * l),
-                        node_block,
-                        &deps,
-                        1000 + s,
-                    );
-                    arrivals[nd as usize].push(Arrival {
-                        start_block: block_node * l,
-                        nblocks: l,
-                        op: t,
-                    });
-                    next_avail.push(vec![t]);
-                    next_recv.push(Some(t));
-                }
-                avail = next_avail;
-                prev_recv = next_recv;
-            }
-        }
-        InterAlgo::RecursiveDoubling => {
-            // net_cur[nd]: deps representing "node nd's region is current".
-            let mut net_cur: Vec<Vec<OpId>> = leader_fill.clone();
-            let steps = n.trailing_zeros();
-            for k in 0..steps {
-                let dist = 1u32 << k;
-                let mut next_cur = net_cur.clone();
-                for nd in 0..n {
-                    let partner = nd ^ dist;
-                    let pbase = partner & !(dist - 1);
-                    let mut deps = net_cur[partner as usize].clone();
-                    deps.extend(net_cur[nd as usize].iter().copied());
-                    let (lsrc, ldst) = (leader(partner), leader(nd));
-                    let t = leader_chunk_transfer(
-                        ctx,
-                        rails,
-                        spec,
-                        &mut rr,
-                        lsrc,
-                        ldst,
-                        chunk_loc(ctx.recv[lsrc.index()], pbase * l),
-                        chunk_loc(ctx.recv[ldst.index()], pbase * l),
-                        dist as usize * node_block,
-                        &deps,
-                        1000 + k,
-                    );
-                    arrivals[nd as usize].push(Arrival {
-                        start_block: pbase * l,
-                        nblocks: dist * l,
-                        op: t,
-                    });
-                    let mut cur = net_cur[nd as usize].clone();
-                    cur.push(t);
-                    next_cur[nd as usize] = vec![t];
-                    let _ = cur;
-                }
-                net_cur = next_cur;
-            }
-        }
-    }
-
-    // ---- Phase 3: node-level distribution (overlapped with phase 2) -----
-    for node in grid.node_ids() {
-        let nd = node.0 as usize;
-        // The leader first-touches the segment, so on a NUMA node its pages
-        // land on the leader's socket — ranks of other sockets then pay the
-        // cross-socket interconnect on their copy-outs. (This NUMA
-        // blindness is exactly what the future-work 3-level design fixes.)
-        let shm = if let Some(numa) = spec.numa.as_ref() {
-            let home = numa.socket_of(&grid, grid.leader_of(node));
-            ctx.b.shared_buf_homed(
-                node,
-                home,
-                grid.nranks() as usize * msg,
-                format!("shm/{node}"),
-            )
-        } else {
-            ctx.b
-                .shared_buf(node, grid.nranks() as usize * msg, format!("shm/{node}"))
-        };
-        let lead = grid.leader_of(node);
-        let last_recv = arrivals[nd].last().expect("n >= 2 has arrivals").op;
-        for (idx, arr) in arrivals[nd].iter().enumerate() {
-            let gate = if cfg.overlap { arr.op } else { last_recv };
-            let len = arr.nblocks as usize * msg;
-            let src = chunk_loc(ctx.recv[lead.index()], arr.start_block);
-            let dst = chunk_loc(shm, arr.start_block);
-            let deps = ctx.cur.deps_with(lead, &[gate]);
-            let cin = ctx.b.copy(lead, src, dst, len, &deps, 2000 + idx as u32);
-            ctx.cur.advance(lead, cin);
-            for lr in 1..l {
-                let m = grid.rank_on(node, lr);
-                let deps = ctx.cur.deps_with(m, &[cin]);
-                let cout = ctx.b.copy(
-                    m,
-                    chunk_loc(shm, arr.start_block),
-                    chunk_loc(ctx.recv[m.index()], arr.start_block),
-                    len,
-                    &deps,
-                    3000 + idx as u32,
-                );
-                ctx.cur.advance(m, cout);
-            }
-        }
-    }
-
-    Ok(())
+    let topo = Topology::two_level(grid.nodes(), grid.ppn());
+    emit_plan(
+        ctx,
+        &topo,
+        &ComposePlan::mha_inter(cfg),
+        Some(spec),
+        Some(rails),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::flat::testutil::assert_allgather_correct;
+    use mha_sched::Channel;
     use mha_simnet::Simulator;
 
     fn thor() -> ClusterSpec {

@@ -9,61 +9,11 @@
 //! finish together (Figure 4b: four ranks finish in two "steps" instead of
 //! three).
 
-use mha_sched::{Channel, NodeId, OpId, ProcGrid};
+use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 use crate::ctx::{BuildError, Built, Ctx};
 use crate::mha::offload::{resolve_offload, Offload};
-
-/// Emits the MHA-intra exchange for the ranks of `node` into the global
-/// receive-buffer layout, returning for each local rank the ops that filled
-/// that rank's node region (self-copy + `L − 1` fetches). Used directly by
-/// [`build_mha_intra`] and as phase 1 of the hierarchical design.
-pub(crate) fn intra_into(ctx: &mut Ctx, node: NodeId, d: u32, step_base: u32) -> Vec<Vec<OpId>> {
-    let grid = ctx.grid();
-    let l = grid.ppn();
-    let msg = ctx.msg;
-    let d = d.min(l.saturating_sub(1));
-    let mut fills: Vec<Vec<OpId>> = Vec::with_capacity(l as usize);
-    for lr in 0..l {
-        let me = grid.rank_on(node, lr);
-        let mut ops = Vec::with_capacity(l as usize);
-        ops.push(ctx.self_copy(me, step_base));
-        for i in 1..l {
-            let peer = grid.rank_on(node, (lr + l - i) % l);
-            let (src, dst) = (ctx.send_loc(peer), ctx.recv_block(me, peer.0));
-            if i > l - 1 - d {
-                // Offloaded to the HCAs: posted immediately (no program-
-                // order deps); the NIC moves it while the CPU works through
-                // its CMA chain. In Allreduce phase B it additionally waits
-                // for the origin's contribution to exist.
-                let deps = ctx.ready_deps(peer);
-                let t = ctx.b.transfer(
-                    peer,
-                    me,
-                    src,
-                    dst,
-                    msg,
-                    Channel::AllRails,
-                    &deps,
-                    step_base + i,
-                );
-                ops.push(t);
-            } else {
-                // CPU path: CMA fetches chained in the rank's program order.
-                let mut deps = ctx.cur.deps_of(me);
-                deps.extend(ctx.ready_deps(peer));
-                let t = ctx
-                    .b
-                    .transfer(peer, me, src, dst, msg, Channel::Cma, &deps, step_base + i);
-                ctx.cur.advance(me, t);
-                ops.push(t);
-            }
-        }
-        fills.push(ops);
-    }
-    fills
-}
 
 /// Builds the MHA-intra Allgather for a single-node grid.
 ///
@@ -85,10 +35,14 @@ pub fn build_mha_intra(
     }
     let d = resolve_offload(policy, spec, grid.ppn(), msg);
     let mut ctx = Ctx::new(grid, msg, format!("mha-intra(d={d})"));
-    if ctx.is_degenerate() {
-        return Ok(ctx.finish_degenerate());
-    }
-    intra_into(&mut ctx, NodeId(0), d, 0);
+    let topo = mha_sched::Topology::from_fanouts(&[grid.ppn()]);
+    crate::compose::emit_plan(
+        &mut ctx,
+        &topo,
+        &crate::compose::ComposePlan::gather(policy),
+        Some(spec),
+        None,
+    )?;
     Ok(ctx.finish())
 }
 
@@ -96,7 +50,7 @@ pub fn build_mha_intra(
 mod tests {
     use super::*;
     use crate::flat::testutil::assert_allgather_correct;
-    use mha_sched::OpKind;
+    use mha_sched::{Channel, OpKind};
     use mha_simnet::Simulator;
 
     fn thor() -> ClusterSpec {

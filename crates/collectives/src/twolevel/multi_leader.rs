@@ -21,19 +21,28 @@ use crate::ctx::{BuildError, Built, Ctx};
 /// [`BuildError::BadParameter`] if `groups` is zero or does not divide the
 /// processes-per-node count.
 pub fn build_multi_leader(grid: ProcGrid, msg: usize, groups: u32) -> Result<Built, BuildError> {
-    let n = grid.nodes();
     let l = grid.ppn();
     if groups == 0 || !l.is_multiple_of(groups) {
         return Err(BuildError::BadParameter(format!(
             "{groups} groups do not divide {l} processes per node"
         )));
     }
-    let lg = l / groups; // ranks per group
-    let ng = n * groups; // total leaders
     let mut ctx = Ctx::new(grid, msg, format!("twolevel-multi-leader(g={groups})"));
     if ctx.is_degenerate() {
         return Ok(ctx.finish_degenerate());
     }
+    emit_multi_leader(&mut ctx, groups);
+    Ok(ctx.finish())
+}
+
+/// Emits the three strictly-sequential multi-leader phases into an existing
+/// context. The caller has already checked divisibility and non-degeneracy.
+pub(crate) fn emit_multi_leader(ctx: &mut Ctx, groups: u32) {
+    let grid = ctx.grid();
+    let l = grid.ppn();
+    let msg = ctx.msg;
+    let lg = l / groups; // ranks per group
+    let ng = grid.nodes() * groups; // total leaders
     let total = grid.nranks() as usize * msg;
 
     // Leader of global group `gg` (node gg / groups, group gg % groups).
@@ -138,7 +147,6 @@ pub fn build_multi_leader(grid: ProcGrid, msg: usize, groups: u32) -> Result<Bui
             ctx.cur.advance(rank, op);
         }
     }
-    Ok(ctx.finish())
 }
 
 #[cfg(test)]

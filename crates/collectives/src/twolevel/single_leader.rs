@@ -22,7 +22,6 @@ use crate::ctx::{BuildError, Built, Ctx};
 /// two (the design is RD-only).
 pub fn build_single_leader(grid: ProcGrid, msg: usize) -> Result<Built, BuildError> {
     let n = grid.nodes();
-    let l = grid.ppn();
     if !n.is_power_of_two() {
         return Err(BuildError::RequiresPowerOfTwo {
             what: "nodes",
@@ -33,6 +32,17 @@ pub fn build_single_leader(grid: ProcGrid, msg: usize) -> Result<Built, BuildErr
     if ctx.is_degenerate() {
         return Ok(ctx.finish_degenerate());
     }
+    emit_single_leader(&mut ctx);
+    Ok(ctx.finish())
+}
+
+/// Emits the single-leader phases into an existing context. The caller has
+/// already checked the power-of-two node count and non-degeneracy.
+pub(crate) fn emit_single_leader(ctx: &mut Ctx) {
+    let grid = ctx.grid();
+    let n = grid.nodes();
+    let l = grid.ppn();
+    let msg = ctx.msg;
     let total = grid.nranks() as usize * msg;
 
     // Per-node shm segment holding the full result layout.
@@ -127,7 +137,6 @@ pub fn build_single_leader(grid: ProcGrid, msg: usize) -> Result<Built, BuildErr
             }
         }
     }
-    Ok(ctx.finish())
 }
 
 #[cfg(test)]

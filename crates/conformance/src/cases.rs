@@ -7,11 +7,12 @@
 //! configurations; rejection paths are covered by `tests/failure_modes.rs`.
 
 use mha_collectives::mha::{InterAlgo, MhaInterConfig, Offload};
-use mha_collectives::AllgatherAlgo;
-use mha_sched::ProcGrid;
+use mha_collectives::{build_composed, AllgatherAlgo, BuildError, Built, ComposePlan};
+use mha_sched::{ProcGrid, Topology};
+use mha_simnet::ClusterSpec;
 use rand::{rngs::StdRng, Rng};
 
-/// The three collective families the oracle must cover.
+/// The four collective families the oracle must cover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Flat (single-level) algorithms: ring, recursive doubling, Bruck,
@@ -21,11 +22,14 @@ pub enum Family {
     TwoLevel,
     /// The paper's multi-HCA aware designs: MHA-intra, MHA-inter.
     Mha,
+    /// Composer-built hierarchical designs over random ≥ 3-level topology
+    /// trees (the N-level generalization of the NUMA-aware design).
+    Hier,
 }
 
 impl Family {
     /// All families, in a fixed order (used for round-robin coverage).
-    pub const ALL: [Family; 3] = [Family::Flat, Family::TwoLevel, Family::Mha];
+    pub const ALL: [Family; 4] = [Family::Flat, Family::TwoLevel, Family::Mha, Family::Hier];
 
     /// Dense index into per-family counters.
     pub fn index(self) -> usize {
@@ -33,6 +37,7 @@ impl Family {
             Family::Flat => 0,
             Family::TwoLevel => 1,
             Family::Mha => 2,
+            Family::Hier => 3,
         }
     }
 }
@@ -42,17 +47,41 @@ impl Family {
 pub struct Case {
     /// The family the algorithm belongs to.
     pub family: Family,
-    /// The allgather algorithm under test.
+    /// The allgather algorithm under test ([`Family::Hier`] cases build
+    /// through `tree` instead; `algo` then mirrors the exchange choice for
+    /// reporting only).
     pub algo: AllgatherAlgo,
-    /// Process layout.
+    /// Process layout (the tree's flattening for [`Family::Hier`]).
     pub grid: ProcGrid,
     /// Per-rank contribution size in bytes.
     pub msg: usize,
+    /// For [`Family::Hier`]: the topology tree and per-level plan the
+    /// generic composer builds. `None` everywhere else.
+    pub tree: Option<(Topology, ComposePlan)>,
 }
 
 impl Case {
+    /// Builds the case's schedule: through the generic composer when a
+    /// tree is attached, through the algorithm dispatcher otherwise.
+    pub fn build(&self, spec: &ClusterSpec) -> Result<Built, BuildError> {
+        match &self.tree {
+            Some((topo, plan)) => build_composed(topo, self.msg, plan, spec),
+            None => self.algo.build(self.grid, self.msg, spec),
+        }
+    }
+
     /// A short, greppable description for disagreement reports.
     pub fn describe(&self) -> String {
+        if let Some((topo, plan)) = &self.tree {
+            let shape: Vec<String> = topo.levels().iter().map(|l| l.fanout.to_string()).collect();
+            return format!(
+                "{:?}/{} tree={} msg={}",
+                self.family,
+                plan.name(),
+                shape.join("x"),
+                self.msg
+            );
+        }
         format!(
             "{:?}/{} {}x{} msg={}",
             self.family,
@@ -71,9 +100,54 @@ fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
     xs[rng.gen_range(0..xs.len())]
 }
 
+/// Draws a random ≥ 3-level topology tree plus a matching hierarchical
+/// plan: exchange at the top, one import round per middle level, gather
+/// at the leaves. Recursive doubling constrains the node count to a
+/// power of two; everything else is free.
+fn sample_hier(rng: &mut StdRng, msg: usize) -> Case {
+    let inter = if rng.gen_range(0..2u32) == 0 {
+        InterAlgo::Ring
+    } else {
+        InterAlgo::RecursiveDoubling
+    };
+    let nodes = match inter {
+        InterAlgo::Ring => rng.gen_range(2..=3),
+        InterAlgo::RecursiveDoubling => pick(rng, &[2u32, 4]),
+    };
+    let depth = rng.gen_range(3..=4usize);
+    let mut fanouts = vec![nodes];
+    for _ in 1..depth - 1 {
+        fanouts.push(rng.gen_range(1..=2));
+    }
+    fanouts.push(rng.gen_range(1..=4));
+    let topo = Topology::from_fanouts(&fanouts);
+    let overlap = rng.gen_range(0..2u32) == 0;
+    let import_offload = rng.gen_range(0..2u32) == 0;
+    let gather = if rng.gen_range(0..2u32) == 0 {
+        Offload::None
+    } else {
+        Offload::Auto
+    };
+    let plan = ComposePlan::hierarchical(depth, inter, overlap, import_offload, gather);
+    Case {
+        family: Family::Hier,
+        algo: AllgatherAlgo::MhaInter(MhaInterConfig {
+            inter,
+            offload: gather,
+            overlap,
+        }),
+        grid: topo.flatten(),
+        msg,
+        tree: Some((topo, plan)),
+    }
+}
+
 /// Draws one valid configuration from `family`.
 pub fn sample_case(rng: &mut StdRng, family: Family) -> Case {
     let msg = pick(rng, &MSGS);
+    if family == Family::Hier {
+        return sample_hier(rng, msg);
+    }
     let (algo, grid) = match family {
         Family::Flat => match rng.gen_range(0..4u32) {
             0 => (
@@ -143,12 +217,14 @@ pub fn sample_case(rng: &mut StdRng, family: Family) -> Case {
                 )
             }
         }
+        Family::Hier => unreachable!("handled above"),
     };
     Case {
         family,
         algo,
         grid,
         msg,
+        tree: None,
     }
 }
 
@@ -163,9 +239,8 @@ mod tests {
         let spec = ClusterSpec::thor();
         let mut rng = StdRng::seed_from_u64(7);
         for i in 0..120 {
-            let case = sample_case(&mut rng, Family::ALL[i % 3]);
-            case.algo
-                .build(case.grid, case.msg, &spec)
+            let case = sample_case(&mut rng, Family::ALL[i % Family::ALL.len()]);
+            case.build(&spec)
                 .unwrap_or_else(|e| panic!("{} failed to build: {e:?}", case.describe()));
         }
     }

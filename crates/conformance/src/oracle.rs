@@ -91,7 +91,7 @@ pub struct OracleReport {
     /// Configurations checked.
     pub cases: usize,
     /// Cases per family, indexed by [`Family::index`].
-    pub by_family: [usize; 3],
+    pub by_family: [usize; 4],
     /// Human-readable description of every disagreement (empty = pass).
     pub disagreements: Vec<String>,
 }
@@ -130,7 +130,7 @@ pub fn run_oracle(cfg: &OracleConfig) -> OracleReport {
     let spec = ClusterSpec::thor();
     let sim = Arc::new(Simulator::new(spec.clone()).unwrap());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut by_family = [0usize; 3];
+    let mut by_family = [0usize; 4];
 
     let mut cases = Vec::with_capacity(cfg.cases);
     for i in 0..cfg.cases {
@@ -187,8 +187,7 @@ pub fn check_case(
     threads: usize,
 ) -> Result<(), String> {
     let built = case
-        .algo
-        .build(case.grid, case.msg, spec)
+        .build(spec)
         .map_err(|e| format!("build failed: {e:?}"))?;
     let sch = &built.sched;
 
@@ -348,6 +347,54 @@ pub fn check_model_envelope(envelope: f64) -> Vec<String> {
             }
         }
     }
+
+    // Hierarchical series: the composer's 3-level NUMA schedule on the
+    // NUMA spec, priced by the per-level model over the spec's own tree.
+    {
+        let name = "hier/numa3 4x2x8";
+        let spec = ClusterSpec::thor_numa();
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let p = ModelParams::from_spec(&spec);
+        let topo = spec.topology_of(&ProcGrid::new(4, 16));
+        let plan = mha_collectives::ComposePlan::numa3(true);
+        let mut prev = 0.0f64;
+        for &m in &sizes {
+            let (built, predicted) = match (
+                mha_collectives::build_composed(&topo, m, &plan, &spec),
+                mha_model::composed_latency(&p, &topo, &plan, m),
+            ) {
+                (Ok(b), Some(t)) => (b, t),
+                (Err(e), _) => {
+                    failures.push(format!("{name} msg={m}: build failed: {e:?}"));
+                    continue;
+                }
+                (_, None) => {
+                    failures.push(format!("{name} msg={m}: model declined the plan"));
+                    continue;
+                }
+            };
+            let t = match sim.run(&built.sched) {
+                Ok(r) => r.makespan,
+                Err(e) => {
+                    failures.push(format!("{name} msg={m}: simnet failed: {e}"));
+                    continue;
+                }
+            };
+            if t < prev {
+                failures.push(format!(
+                    "{name}: latency not monotone, {t:.3e}s at msg={m} after {prev:.3e}s"
+                ));
+            }
+            prev = t;
+            let ratio = t / predicted;
+            if !(1.0 / envelope..=envelope).contains(&ratio) {
+                failures.push(format!(
+                    "{name} msg={m}: simulated {t:.3e}s vs model {predicted:.3e}s \
+                     (ratio {ratio:.2} outside ±{envelope}x)"
+                ));
+            }
+        }
+    }
     failures
 }
 
@@ -364,6 +411,7 @@ mod tests {
             algo: AllgatherAlgo::MhaInter(MhaInterConfig::default()),
             grid: ProcGrid::new(2, 4),
             msg: 512,
+            tree: None,
         };
         check_case(&case, &sim, &spec, 4).unwrap();
     }

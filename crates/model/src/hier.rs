@@ -1,0 +1,229 @@
+//! Per-level cost model for composer-built hierarchical Allgathers.
+//!
+//! The 2-level equations of Section 4 generalize level by level: the leaf
+//! gather is Eq. 2 on the innermost fanout, each middle level adds an
+//! import round (one region crossing per sibling, over that level's link
+//! or offloaded to the HCAs), and the outermost level keeps the Eq. 6/7
+//! exchange-vs-copy-pipeline case split — with the network term priced
+//! from the tree's own level-0 link, so heterogeneous per-level speeds
+//! flow straight into the prediction.
+
+use mha_collectives::mha::{InterAlgo, Offload};
+use mha_collectives::{ComposePlan, LevelAlgo};
+use mha_sched::Topology;
+
+use crate::inter::intra_bcast;
+use crate::intra::{mha_intra_latency, optimal_offload};
+use crate::params::ModelParams;
+
+/// Time of one transfer of `len` bytes over the link at depth `d` of the
+/// tree, striped across that level's rails. The outermost level charges
+/// the parameter set's rendezvous-aware startup (it is the rail fabric);
+/// inner links use their own `alpha`.
+fn t_level(p: &ModelParams, topo: &Topology, d: usize, len: usize) -> f64 {
+    let lvl = topo.level(d);
+    let alpha = if d == 0 {
+        p.rail_startup(len)
+    } else {
+        lvl.alpha
+    };
+    alpha + len as f64 / (lvl.bw * f64::from(lvl.rails))
+}
+
+/// The leaf-gather term: Eq. 2 on the innermost fanout with the offload
+/// count resolved from `policy`.
+fn gather_term(p: &ModelParams, leaf: u32, m: usize, policy: Offload) -> f64 {
+    let d = match policy {
+        Offload::None => 0,
+        Offload::Fixed(d) => d,
+        Offload::Auto => optimal_offload(p, leaf, m, false),
+    };
+    mha_intra_latency(p, leaf, m, d)
+}
+
+/// Predicted latency (seconds) of `plan` composed over `topo` with
+/// per-rank contribution `m`, or `None` when the plan is not a gather /
+/// hierarchical shape this model prices (whole-tree flat plans have their
+/// own models).
+///
+/// On a two-level tree with the default MHA-inter plan this reproduces
+/// [`crate::mha_inter_latency`] exactly; deeper trees add one import term
+/// per middle level: `(children − 1)` region crossings over the level's
+/// link (or the rail fabric when offloaded) plus the members' congested
+/// copy-out of each imported region.
+pub fn composed_latency(
+    p: &ModelParams,
+    topo: &Topology,
+    plan: &ComposePlan,
+    m: usize,
+) -> Option<f64> {
+    let depth = topo.depth();
+    if plan.levels.len() != depth {
+        return None;
+    }
+    let LevelAlgo::Gather { offload } = plan.levels[depth - 1] else {
+        return None;
+    };
+    let leaf = topo.fanout(depth - 1);
+    if depth == 1 {
+        return Some(gather_term(p, leaf, m, offload));
+    }
+    let LevelAlgo::Exchange { inter, .. } = plan.levels[0] else {
+        return None;
+    };
+    let mut imports = Vec::with_capacity(depth - 2);
+    for lvl in &plan.levels[1..depth - 1] {
+        let LevelAlgo::Import { offload } = lvl else {
+            return None;
+        };
+        imports.push(*offload);
+    }
+
+    let ppn = topo.group_size(1);
+    let mut t = gather_term(p, leaf, m, offload);
+
+    // Import rounds, innermost middle level first (emission order). Each
+    // group leader pulls its siblings' regions — `children − 1` crossings
+    // — and every member copies each imported region out over CMA with
+    // all of the node's ranks contending for memory.
+    for dd in (1..depth - 1).rev() {
+        let children = topo.fanout(dd);
+        if children <= 1 {
+            continue;
+        }
+        let region = topo.group_size(dd + 1) as usize * m;
+        let link = if imports[dd - 1] {
+            p.t_h(region)
+        } else {
+            t_level(p, topo, dd, region)
+        };
+        let pull = p.t_c(region, ppn);
+        t += f64::from(children - 1) * (link + pull);
+    }
+
+    // Outermost exchange + distribute: the Eq. 6/7 case split, with the
+    // network step priced from the tree's level-0 link.
+    let n = topo.fanout(0);
+    if n <= 1 {
+        return Some(t);
+    }
+    let ml = ppn as usize * m;
+    let bcast_chunk = intra_bcast(p, ml, ppn);
+    let step = t_level(p, topo, 0, ml);
+    Some(match inter {
+        InterAlgo::RecursiveDoubling => {
+            let log_n = (f64::from(n)).log2().ceil();
+            let t2 = p.rail_startup(ml) * log_n
+                + f64::from(n - 1) * ml as f64
+                    / (topo.level(0).bw * f64::from(topo.level(0).rails));
+            if bcast_chunk <= t_level(p, topo, 0, 2 * ml) {
+                let final_bcast = intra_bcast(p, ml * (n as usize / 2).max(1), ppn);
+                t + t2 + final_bcast
+            } else {
+                t + step + f64::from(n - 1) * bcast_chunk
+            }
+        }
+        InterAlgo::Ring => {
+            let t2 = f64::from(n - 1) * step;
+            if bcast_chunk <= step {
+                t + t2 + bcast_chunk
+            } else {
+                t + step + f64::from(n - 1) * bcast_chunk
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inter::{mha_inter_latency, Phase2};
+    use mha_collectives::mha::MhaInterConfig;
+    use mha_simnet::ClusterSpec;
+
+    fn p() -> ModelParams {
+        ModelParams::from_spec(&ClusterSpec::thor())
+    }
+
+    #[test]
+    fn two_level_plan_reproduces_the_inter_model_exactly() {
+        let p = p();
+        let spec = ClusterSpec::thor();
+        for (n, l) in [(2u32, 4u32), (4, 8), (16, 8), (8, 16)] {
+            let topo = spec.topology_of(&mha_sched::ProcGrid::new(n, l));
+            for m in [64usize, 4096, 64 * 1024, 1 << 20] {
+                for (inter, phase2) in [
+                    (InterAlgo::Ring, Phase2::Ring),
+                    (InterAlgo::RecursiveDoubling, Phase2::RecursiveDoubling),
+                ] {
+                    let cfg = MhaInterConfig {
+                        inter,
+                        ..MhaInterConfig::default()
+                    };
+                    let composed =
+                        composed_latency(&p, &topo, &ComposePlan::mha_inter(cfg), m).unwrap();
+                    let direct = mha_inter_latency(&p, n, l, m, phase2);
+                    assert_eq!(composed, direct, "n={n} l={l} m={m} {inter:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_level_prediction_adds_a_positive_import_term() {
+        let p = p();
+        let spec = ClusterSpec::thor_numa();
+        let grid = mha_sched::ProcGrid::new(4, 16);
+        let t2 = composed_latency(
+            &p,
+            &ClusterSpec::thor().topology_of(&grid),
+            &ComposePlan::mha_inter(MhaInterConfig::default()),
+            64 * 1024,
+        )
+        .unwrap();
+        let t3 = composed_latency(
+            &p,
+            &spec.topology_of(&grid),
+            &ComposePlan::numa3(true),
+            64 * 1024,
+        )
+        .unwrap();
+        assert!(t3.is_finite() && t3 > 0.0);
+        // The 3-level plan gathers with d = 0 and pays the import round, so
+        // against the same outer exchange it predicts strictly more than
+        // the 2-level plan minus its offload benefit could ever recover.
+        assert!(t3 > 0.5 * t2, "t3 {t3} vs t2 {t2}");
+    }
+
+    #[test]
+    fn depth_one_prices_the_leaf_gather() {
+        let p = p();
+        let topo = Topology::from_fanouts(&[8]);
+        let t = composed_latency(&p, &topo, &ComposePlan::gather(Offload::Auto), 4096).unwrap();
+        assert_eq!(t, crate::intra::mha_intra_latency_auto(&p, 8, 4096));
+    }
+
+    #[test]
+    fn unsupported_plan_shapes_return_none() {
+        let p = p();
+        let topo = Topology::from_fanouts(&[4, 8]);
+        // Whole-tree flat plan: not a hierarchical shape.
+        assert!(composed_latency(&p, &topo, &ComposePlan::ring(), 64).is_none());
+        // Plan depth mismatch.
+        assert!(composed_latency(&p, &topo, &ComposePlan::numa3(true), 64).is_none());
+    }
+
+    #[test]
+    fn import_term_grows_with_socket_count() {
+        let p = p();
+        let mk = |sockets: u32| {
+            let topo = Topology::new(vec![
+                mha_sched::TopoLevel::new(4).with_link(2, 12.0e9, 1.6e-6),
+                mha_sched::TopoLevel::new(sockets).with_link(1, 7.0e9, 0.15e-6),
+                mha_sched::TopoLevel::new(16 / sockets).with_link(1, 11.0e9, 0.8e-6),
+            ]);
+            composed_latency(&p, &topo, &ComposePlan::numa3(false), 256 * 1024).unwrap()
+        };
+        assert!(mk(4) > mk(2), "more siblings, more import rounds");
+    }
+}

@@ -6,18 +6,23 @@
 //! * [`optimal_offload`] / [`mha_intra_latency`] — Eqs. 1–2 (MHA-intra).
 //! * [`phase2_rd`] / [`phase2_ring`] / [`intra_bcast`] /
 //!   [`mha_inter_latency`] — Eqs. 3–7 (MHA-inter).
+//! * [`composed_latency`] — the per-level generalization for
+//!   composer-built hierarchical trees (leaf gather + import rounds +
+//!   outer exchange), priced from the topology's own link parameters.
 //! * [`validate_intra`] / [`validate_inter`] — the Figure 9/10
 //!   predicted-vs-actual sweeps against `mha-simnet`.
 
 #![warn(missing_docs)]
 
 mod calibrate;
+mod hier;
 mod inter;
 mod intra;
 mod params;
 mod validate;
 
 pub use calibrate::calibrate;
+pub use hier::composed_latency;
 pub use inter::{
     intra_bcast, mha_inter_latency, mha_inter_latency_tuned, phase2_rd, phase2_ring, Phase2,
 };

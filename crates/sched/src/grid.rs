@@ -109,6 +109,20 @@ impl ProcGrid {
     pub fn same_node(&self, a: RankId, b: RankId) -> bool {
         self.node_of(a) == self.node_of(b)
     }
+
+    /// Iterator over `count` consecutive ranks starting at `first` — the
+    /// shape of any group of a block-mapped topology tree (a socket, a
+    /// node, a leader span).
+    pub fn rank_block(&self, first: RankId, count: u32) -> impl Iterator<Item = RankId> {
+        debug_assert!(
+            first
+                .0
+                .checked_add(count)
+                .is_some_and(|e| e <= self.nranks()),
+            "rank block {first}+{count} out of grid"
+        );
+        (first.0..first.0 + count).map(RankId)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +178,14 @@ mod tests {
         assert_eq!(g.nodes(), 1);
         assert_eq!(g.nranks(), 16);
         assert!(g.ranks().all(|r| g.node_of(r) == NodeId(0)));
+    }
+
+    #[test]
+    fn rank_block_enumerates_consecutive_ranks() {
+        let g = ProcGrid::new(2, 4);
+        let block: Vec<_> = g.rank_block(RankId(2), 3).collect();
+        assert_eq!(block, vec![RankId(2), RankId(3), RankId(4)]);
+        assert_eq!(g.rank_block(RankId(8), 0).count(), 0);
     }
 
     #[test]

@@ -60,6 +60,12 @@ id_type!(
     OpId,
     "op"
 );
+id_type!(
+    /// A group at some depth of a [`crate::Topology`] tree (a node, a
+    /// socket, … — depth decides the granularity).
+    GroupId,
+    "g"
+);
 
 #[cfg(test)]
 mod tests {
@@ -71,6 +77,7 @@ mod tests {
         assert_eq!(NodeId(0).to_string(), "n0");
         assert_eq!(BufId(12).to_string(), "b12");
         assert_eq!(OpId(7).to_string(), "op7");
+        assert_eq!(GroupId(2).to_string(), "g2");
     }
 
     #[test]

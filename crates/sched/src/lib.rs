@@ -52,6 +52,7 @@ mod op;
 pub mod probe;
 pub mod runtime;
 mod schedule;
+mod topology;
 mod validate;
 
 pub use buffer::{BufKind, BufferDecl, Loc};
@@ -59,7 +60,7 @@ pub use builder::{RankCursors, ScheduleBuilder};
 pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
-pub use ids::{BufId, NodeId, OpId, RankId};
+pub use ids::{BufId, GroupId, NodeId, OpId, RankId};
 pub use invariant::{InvariantProbe, Violation};
 pub use op::{Channel, DType, Op, OpKind, RailSet, RedOp};
 pub use probe::{
@@ -68,4 +69,5 @@ pub use probe::{
 };
 pub use runtime::{AtomicReadySet, ReadySet};
 pub use schedule::{Schedule, ScheduleStats};
+pub use topology::{TopoLevel, Topology};
 pub use validate::{check_races, rail_registered_buffers, validate, Race, ValidateError};

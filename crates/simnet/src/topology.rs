@@ -166,6 +166,37 @@ impl ClusterSpec {
         self.copy_alpha + len as f64 / self.copy_bw
     }
 
+    /// The [`mha_sched::Topology`] this spec induces on `grid`, with each
+    /// level carrying its real link parameters: the node level gets the
+    /// rail fabric, the (optional) socket level the NUMA interconnect, and
+    /// the rank level the CMA path. The socket level appears only when the
+    /// spec models NUMA with more than one socket *and* the socket count
+    /// divides the ppn — otherwise the tree degrades to the classic
+    /// two-level (node × rank) shape, so callers can thread the result
+    /// straight into the composer or a cache key without special-casing.
+    pub fn topology_of(&self, grid: &mha_sched::ProcGrid) -> mha_sched::Topology {
+        use mha_sched::TopoLevel;
+        let node =
+            TopoLevel::new(grid.nodes()).with_link(self.rails, self.rail_bw, self.rail_alpha);
+        match &self.numa {
+            Some(n) if n.sockets > 1 && grid.ppn().is_multiple_of(n.sockets) => {
+                mha_sched::Topology::new(vec![
+                    node,
+                    TopoLevel::new(n.sockets).with_link(1, n.xsocket_bw, n.xsocket_alpha),
+                    TopoLevel::new(grid.ppn() / n.sockets).with_link(
+                        1,
+                        self.cma_bw,
+                        self.cma_alpha,
+                    ),
+                ])
+            }
+            _ => mha_sched::Topology::new(vec![
+                node,
+                TopoLevel::new(grid.ppn()).with_link(1, self.cma_bw, self.cma_alpha),
+            ]),
+        }
+    }
+
     /// A stable structural digest of everything that affects simulated
     /// timing (see [`mha_sched::Fingerprinter`] for the guarantees). Two
     /// specs with equal digests price any schedule identically; the
@@ -347,5 +378,48 @@ mod tests {
     #[should_panic(expected = "at least one rail")]
     fn zero_rail_constructor_panics() {
         ClusterSpec::thor_with_rails(0);
+    }
+
+    #[test]
+    fn topology_of_matches_grid_and_carries_link_params() {
+        use mha_sched::ProcGrid;
+        let grid = ProcGrid::new(4, 16);
+
+        let flat = ClusterSpec::thor().topology_of(&grid);
+        assert_eq!(flat.depth(), 2);
+        assert!(flat.matches(&grid));
+        assert_eq!(flat.level(0).rails, 2);
+        assert_eq!(flat.level(0).bw, ClusterSpec::thor().rail_bw);
+        assert_eq!(flat.level(1).bw, ClusterSpec::thor().cma_bw);
+
+        let numa = ClusterSpec::thor_numa().topology_of(&grid);
+        assert_eq!(numa.depth(), 3);
+        assert!(numa.matches(&grid));
+        assert_eq!(numa.fanout(1), 2);
+        assert_eq!(numa.fanout(2), 8);
+        let link = numa.level(1);
+        let spec = ClusterSpec::thor_numa();
+        let ns = spec.numa.as_ref().unwrap();
+        assert_eq!(link.bw, ns.xsocket_bw);
+        assert_eq!(link.alpha, ns.xsocket_alpha);
+        numa.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_of_degrades_to_two_levels_when_sockets_do_not_divide() {
+        use mha_sched::ProcGrid;
+        // 2 sockets cannot split 5 ranks per node evenly: stay 2-level.
+        let t = ClusterSpec::thor_numa().topology_of(&ProcGrid::new(2, 5));
+        assert_eq!(t.depth(), 2);
+        assert!(t.matches(&ProcGrid::new(2, 5)));
+    }
+
+    #[test]
+    fn topology_digest_separates_numa_from_flat_specs() {
+        use mha_sched::ProcGrid;
+        let grid = ProcGrid::new(2, 16);
+        let flat = ClusterSpec::thor().topology_of(&grid);
+        let numa = ClusterSpec::thor_numa().topology_of(&grid);
+        assert_ne!(flat.digest(), numa.digest());
     }
 }
