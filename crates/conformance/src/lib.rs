@@ -31,12 +31,17 @@
 
 pub mod cases;
 pub mod coverage;
+pub mod crash;
 pub mod faults;
 pub mod fuzz;
 pub mod oracle;
 
 pub use cases::{sample_case, Case, Family};
 pub use coverage::check_allgather_coverage;
+pub use crash::{
+    check_crash_case, check_modeled_crash, run_crash_oracle, sample_crash_case, CrashCase,
+    CrashOracleConfig, CrashOracleReport,
+};
 pub use faults::{
     check_fault_case, run_fault_oracle, sample_fault_case, FaultCase, FaultOracleConfig,
     FaultOracleReport,

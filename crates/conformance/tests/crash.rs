@@ -1,0 +1,146 @@
+//! The crash-oracle acceptance bar plus the journal property suite.
+//!
+//! * ≥ 100 seeded kill schedules across all four collective families must
+//!   recover **byte-identically** to an unfailed run on both the Single and
+//!   Threaded executors, and the same crash modeled as a simnet node outage
+//!   must stay invariant-clean with a makespan that absorbs the recovery
+//!   penalty.
+//! * 200 seeded (schedule, kill-point) pairs: journal replay is idempotent
+//!   (resume twice ≡ resume once) and a journal claiming an op whose
+//!   dependencies are incomplete is rejected with a typed error.
+
+use mha_conformance::{run_crash_oracle, sample_case, CrashOracleConfig, Family};
+use mha_exec::{
+    resume_single, resume_threaded, run_single, run_single_killed, BufferStore, CompletionJournal,
+    ExecError, JournalError,
+};
+use mha_sched::FrozenSchedule;
+use mha_simnet::ClusterSpec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn crash_oracle_sweep_has_zero_disagreements() {
+    let cfg = CrashOracleConfig::from_env();
+    assert!(cfg.cases >= 100, "acceptance bar requires >= 100 cases");
+    let report = run_crash_oracle(&cfg);
+    assert_eq!(report.cases, cfg.cases);
+    assert!(
+        report.is_clean(),
+        "{} disagreement(s):\n{}",
+        report.disagreements.len(),
+        report.disagreements.join("\n")
+    );
+}
+
+fn seeded_store(sch: &FrozenSchedule, built: &mha_collectives::Built) -> BufferStore {
+    let store = BufferStore::new(sch);
+    for (rank, &buf) in built.send.iter().enumerate() {
+        store.fill(buf, 0, &mha_exec::rank_pattern(rank, built.msg));
+    }
+    store
+}
+
+fn snapshot(sch: &FrozenSchedule, store: &BufferStore) -> Vec<Vec<u8>> {
+    sch.buffers().iter().map(|b| store.read_all(b.id)).collect()
+}
+
+/// 200 seeded (schedule, kill-point) pairs: after a kill at op `k`,
+/// resuming twice (and once more on the pool for good measure) leaves the
+/// journal and every buffer exactly as a single resume does.
+#[test]
+fn journal_replay_is_idempotent_over_200_pairs() {
+    let spec = ClusterSpec::thor();
+    let mut rng = StdRng::seed_from_u64(0xD0_0DEAD);
+    let mut checked = 0usize;
+    while checked < 200 {
+        let case = sample_case(&mut rng, Family::ALL[checked % Family::ALL.len()]);
+        let built = case.build(&spec).expect("oracle cases always build");
+        let sch = &built.sched;
+        let n = sch.n_ops();
+        if n == 0 {
+            continue;
+        }
+        let k = rng.gen_range(0..n);
+
+        let store = seeded_store(sch, &built);
+        let journal = CompletionJournal::for_schedule(sch);
+        match run_single_killed(sch, &store, &journal, k) {
+            Err(ExecError::Killed { .. }) => {}
+            other => panic!("{}: kill at {k} of {n}: {other:?}", case.describe()),
+        }
+        resume_single(sch, &store, &journal)
+            .unwrap_or_else(|e| panic!("{}: first resume: {e}", case.describe()));
+        let once = snapshot(sch, &store);
+        let len_once = journal.len();
+        let digest_once = journal.digest();
+
+        // Second (and third, threaded) resume: nothing left to do, nothing
+        // may change — not the bytes, not the journal.
+        resume_single(sch, &store, &journal)
+            .unwrap_or_else(|e| panic!("{}: second resume: {e}", case.describe()));
+        resume_threaded(sch, &store, 3, &journal)
+            .unwrap_or_else(|e| panic!("{}: threaded resume: {e}", case.describe()));
+        assert_eq!(journal.len(), len_once, "{}: journal grew", case.describe());
+        assert_eq!(
+            journal.digest(),
+            digest_once,
+            "{}: journal mutated",
+            case.describe()
+        );
+        assert_eq!(
+            snapshot(sch, &store),
+            once,
+            "{}: bytes changed on re-resume",
+            case.describe()
+        );
+
+        // And the recovered bytes match an unfailed run.
+        let ref_store = seeded_store(sch, &built);
+        run_single(sch, &ref_store).unwrap();
+        assert_eq!(
+            once,
+            snapshot(sch, &ref_store),
+            "{}: recovery diverged",
+            case.describe()
+        );
+        checked += 1;
+    }
+}
+
+/// A journal claiming an op whose dependencies are incomplete must be
+/// rejected with the typed [`JournalError::DepIncomplete`] by validation
+/// and by every resume entry point.
+#[test]
+fn dependency_incomplete_journals_are_rejected_typed() {
+    let spec = ClusterSpec::thor();
+    let mut rng = StdRng::seed_from_u64(0xBAD_5EED);
+    let mut checked = 0usize;
+    while checked < 50 {
+        let case = sample_case(&mut rng, Family::ALL[checked % Family::ALL.len()]);
+        let built = case.build(&spec).expect("oracle cases always build");
+        let sch = &built.sched;
+        // Find an op with at least one dependency and journal it alone.
+        let Some(op) = (0..sch.n_ops() as u32).find(|&i| !sch.preds(i).is_empty()) else {
+            continue;
+        };
+        let dep = sch.preds(op)[0];
+        let journal = CompletionJournal::from_entries(sch.n_ops(), vec![op]);
+        let err = journal.validate(sch).unwrap_err();
+        assert_eq!(
+            err,
+            JournalError::DepIncomplete { op, dep },
+            "{}",
+            case.describe()
+        );
+        let store = seeded_store(sch, &built);
+        assert!(matches!(
+            resume_single(sch, &store, &journal),
+            Err(ExecError::Journal(JournalError::DepIncomplete { .. }))
+        ));
+        assert!(matches!(
+            resume_threaded(sch, &store, 2, &journal),
+            Err(ExecError::Journal(JournalError::DepIncomplete { .. }))
+        ));
+        checked += 1;
+    }
+}

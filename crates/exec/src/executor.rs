@@ -24,6 +24,7 @@ use crossbeam::channel;
 
 use mha_sched::{AtomicReadySet, DType, FrozenSchedule, OpKind, Probe, RedOp};
 
+use crate::journal::{CompletionJournal, JournalError, JournalSink, KillPlan};
 use crate::memory::BufferStore;
 
 /// An execution failure.
@@ -42,6 +43,18 @@ pub enum ExecError {
         /// Ops in the schedule.
         total: usize,
     },
+    /// Execution was deliberately aborted by a [`KillPlan`] victim (or a
+    /// [`run_single_killed`] stop point). The journal holds the completed
+    /// prefix; `resume_single` / `resume_threaded` finish the rest.
+    Killed {
+        /// Ops journaled as retired, including any from previous runs.
+        done: usize,
+        /// Ops in the schedule.
+        total: usize,
+    },
+    /// The supplied completion journal does not describe a valid partial
+    /// execution of this schedule.
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -52,6 +65,10 @@ impl std::fmt::Display for ExecError {
             ExecError::Stalled { done, total } => {
                 write!(f, "threaded execution stalled: {done} of {total} ops ran")
             }
+            ExecError::Killed { done, total } => {
+                write!(f, "execution killed: {done} of {total} ops journaled")
+            }
+            ExecError::Journal(e) => write!(f, "bad journal: {e}"),
         }
     }
 }
@@ -61,6 +78,12 @@ impl std::error::Error for ExecError {}
 impl From<mha_sched::ValidateError> for ExecError {
     fn from(e: mha_sched::ValidateError) -> Self {
         ExecError::InvalidSchedule(e)
+    }
+}
+
+impl From<JournalError> for ExecError {
+    fn from(e: JournalError) -> Self {
+        ExecError::Journal(e)
     }
 }
 
@@ -155,6 +178,83 @@ pub fn run_single_probed(
     Ok(())
 }
 
+/// Executes the unfinished suffix of `sch` sequentially, skipping ops
+/// `journal` already records and appending each newly retired op.
+///
+/// With an empty journal this is [`run_single`] plus journaling; with a
+/// partially filled one it is crash recovery: journaled ops' byte effects
+/// are already durable in `store` (ops are journaled only after they fully
+/// execute), so only the suffix runs — which is what keeps recovery
+/// byte-exact even for non-idempotent `Reduce` ops. Fails with
+/// [`ExecError::Journal`] if the journal is not a valid partial execution
+/// of `sch`.
+pub fn run_single_journaled(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    journal: &CompletionJournal,
+) -> Result<(), ExecError> {
+    run_single_limited(sch, store, journal, usize::MAX)
+}
+
+/// Finishes a crashed run from its journal: [`run_single_journaled`] under
+/// its recovery name. Safe to call again on an already-complete journal (a
+/// no-op), which makes resume idempotent.
+pub fn resume_single(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    journal: &CompletionJournal,
+) -> Result<(), ExecError> {
+    run_single_journaled(sch, store, journal)
+}
+
+/// [`run_single_journaled`] that deliberately crashes — returns
+/// [`ExecError::Killed`] instead of executing further — once `journal`
+/// holds `stop_after` entries. The op claimed at the stop point is *not*
+/// executed and *not* journaled, exactly like a [`KillPlan`] victim dying
+/// in the threaded pool, so the journal length at the kill is precisely
+/// `stop_after` (when `stop_after < n_ops`). The deterministic kill used
+/// by golden tests.
+pub fn run_single_killed(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    journal: &CompletionJournal,
+    stop_after: usize,
+) -> Result<(), ExecError> {
+    run_single_limited(sch, store, journal, stop_after)
+}
+
+fn run_single_limited(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    journal: &CompletionJournal,
+    stop_after: usize,
+) -> Result<(), ExecError> {
+    mha_sched::validate(sch, None)?;
+    let entries = journal.validate(sch)?;
+    let n = sch.n_ops();
+    let mut done = vec![false; n];
+    for &c in &entries {
+        done[c as usize] = true;
+    }
+    let mut retired = entries.len();
+    let ops = sch.ops();
+    for &i in sch.topo_order() {
+        if done[i as usize] {
+            continue;
+        }
+        if retired >= stop_after {
+            return Err(ExecError::Killed {
+                done: retired,
+                total: n,
+            });
+        }
+        execute_op(&ops[i as usize].kind, store);
+        journal.record(i);
+        retired += 1;
+    }
+    Ok(())
+}
+
 /// Executes `sch` on `threads` worker threads, honoring only the DAG's
 /// dependency edges (any topological interleaving may occur).
 pub fn run_threaded(
@@ -162,7 +262,62 @@ pub fn run_threaded(
     store: &BufferStore,
     threads: usize,
 ) -> Result<(), ExecError> {
-    run_threaded_inner(sch, store, threads, None)
+    run_threaded_inner(sch, store, threads, None, None, &[], None)
+}
+
+/// [`run_threaded`] with per-op completion journaling, resume-aware: ops
+/// `journal` already records are pre-released (their successors' indegrees
+/// seeded down via [`AtomicReadySet::from_completed`]) and only the
+/// unfinished suffix executes. Each op is journaled after its byte effects
+/// land and before any successor is released, so the journal is
+/// dependency-closed at every instant — including mid-crash.
+pub fn run_threaded_journaled(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+    journal: &CompletionJournal,
+) -> Result<(), ExecError> {
+    let completed = journal.validate(sch)?;
+    run_threaded_inner(sch, store, threads, None, Some(journal), &completed, None)
+}
+
+/// Finishes a crashed run from its journal on the worker pool:
+/// [`run_threaded_journaled`] under its recovery name. Idempotent — on an
+/// already-complete journal it is a no-op.
+pub fn resume_threaded(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+    journal: &CompletionJournal,
+) -> Result<(), ExecError> {
+    run_threaded_journaled(sch, store, threads, journal)
+}
+
+/// [`run_threaded_journaled`] under a deterministic kill plan: each victim
+/// worker dies — via the same contained-panic release machinery as
+/// [`ExecError::WorkerPanicked`] — instead of executing the op it just
+/// claimed, once the journaled-op count reaches its threshold. The claimed
+/// op stays unexecuted and unjournaled, so `resume_threaded` re-runs it
+/// exactly once. Returns [`ExecError::Killed`] when a victim fired, or
+/// `Ok` when execution finished before any threshold was reached (a late
+/// kill point on a fast pool).
+pub fn run_threaded_killed(
+    sch: &FrozenSchedule,
+    store: &BufferStore,
+    threads: usize,
+    journal: &CompletionJournal,
+    plan: &KillPlan,
+) -> Result<(), ExecError> {
+    let completed = journal.validate(sch)?;
+    run_threaded_inner(
+        sch,
+        store,
+        threads,
+        None,
+        Some(journal),
+        &completed,
+        Some(plan),
+    )
 }
 
 /// [`run_threaded`] narrated through `probe` (`backend = "exec-threaded"`).
@@ -176,32 +331,43 @@ pub fn run_threaded_probed(
     threads: usize,
     probe: &mut dyn Probe,
 ) -> Result<(), ExecError> {
-    run_threaded_inner(sch, store, threads, Some(probe))
+    run_threaded_inner(sch, store, threads, Some(probe), None, &[], None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_threaded_inner(
     sch: &FrozenSchedule,
     store: &BufferStore,
     threads: usize,
     mut probe: Option<&mut dyn Probe>,
+    journal: Option<&dyn JournalSink>,
+    completed: &[u32],
+    kill: Option<&KillPlan>,
 ) -> Result<(), ExecError> {
     assert!(threads > 0, "need at least one worker");
     mha_sched::validate(sch, None)?;
     let n = sch.n_ops();
+    let base = completed.len();
+    let todo = n - base;
     if let Some(p) = probe.as_deref_mut() {
         p.begin_run(sch, "exec-threaded");
     }
-    if n == 0 {
+    if todo == 0 {
         if let Some(p) = probe {
             p.end_run(0.0);
         }
         return Ok(());
     }
-    let ready = AtomicReadySet::new(sch);
+    let (ready, frontier) = if completed.is_empty() {
+        (AtomicReadySet::new(sch), sch.roots().to_vec())
+    } else {
+        AtomicReadySet::from_completed(sch, completed)
+    };
     let done = AtomicUsize::new(0);
     let poisoned = std::sync::atomic::AtomicBool::new(false);
+    let killed = std::sync::atomic::AtomicBool::new(false);
     let (tx, rx) = channel::unbounded::<usize>();
-    for &i in sch.roots() {
+    for &i in &frontier {
         if let Some(p) = probe.as_deref_mut() {
             p.op_ready(i, 0.0);
         }
@@ -224,14 +390,30 @@ fn run_threaded_inner(
 
     let panicked = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for w in 0..threads {
             let rx = rx.clone();
             let tx = tx.clone();
-            let (ready, done, poisoned, stamps) = (&ready, &done, &poisoned, &stamps);
+            let kill_at = kill.and_then(|p| p.threshold(w));
+            let (ready, done, poisoned, killed, stamps) =
+                (&ready, &done, &poisoned, &killed, &stamps);
             handles.push(scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
                     if i == usize::MAX {
                         break;
+                    }
+                    if let Some(thr) = kill_at {
+                        if base + done.load(Ordering::Acquire) >= thr {
+                            // Die *before* executing the claimed op: it
+                            // stays unexecuted and unjournaled, so resume
+                            // re-runs it exactly once — the only safe kill
+                            // point for non-idempotent Reduce ops. Release
+                            // the surviving workers like the poison path.
+                            killed.store(true, Ordering::Release);
+                            for _ in 0..threads {
+                                let _ = tx.send(usize::MAX);
+                            }
+                            break;
+                        }
                     }
                     if timing {
                         stamps[i].0.store(nanos_since(t0), Ordering::Relaxed);
@@ -252,12 +434,18 @@ fn run_threaded_inner(
                     if timing {
                         stamps[i].1.store(nanos_since(t0), Ordering::Relaxed);
                     }
+                    // Journal after the op's effects are durable and before
+                    // any successor can be released: at every instant the
+                    // journal is a dependency-closed prefix in retire order.
+                    if let Some(j) = journal {
+                        j.op_retired(i as u32);
+                    }
                     ready.complete(sch, i as u32, |s| {
                         // A send can only fail if the channel somehow died;
                         // the stall check below turns that into an error.
                         let _ = tx.send(s as usize);
                     });
-                    if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                    if done.fetch_add(1, Ordering::AcqRel) + 1 == todo {
                         // All done: release every worker.
                         for _ in 0..threads {
                             let _ = tx.send(usize::MAX);
@@ -272,10 +460,16 @@ fn run_threaded_inner(
     if panicked || poisoned.load(Ordering::Acquire) {
         return Err(ExecError::WorkerPanicked);
     }
-    let completed = done.load(Ordering::Acquire);
-    if completed != n {
+    let ran = done.load(Ordering::Acquire);
+    if killed.load(Ordering::Acquire) && ran != todo {
+        return Err(ExecError::Killed {
+            done: base + ran,
+            total: n,
+        });
+    }
+    if ran != todo {
         return Err(ExecError::Stalled {
-            done: completed,
+            done: base + ran,
             total: n,
         });
     }
@@ -508,6 +702,139 @@ mod tests {
         let store = BufferStore::new(&sch);
         run_single(&sch, &store).unwrap();
         run_threaded(&sch, &store, 4).unwrap();
+    }
+
+    /// An allreduce-flavored chain: repeated non-idempotent Reduce ops
+    /// folding `terms` operand buffers into one accumulator. Any op that
+    /// re-executes after a crash corrupts the sum — the sharpest probe of
+    /// kill/resume exactness.
+    fn reduce_chain(terms: usize) -> (FrozenSchedule, Vec<mha_sched::BufId>) {
+        let grid = ProcGrid::single_node(1);
+        let mut b = ScheduleBuilder::new(grid, "chain");
+        let acc = b.private_buf(RankId(0), 8, "acc");
+        let mut bufs = vec![acc];
+        let mut prev = None;
+        for i in 0..terms {
+            let op_buf = b.private_buf(RankId(0), 8, format!("t{i}"));
+            bufs.push(op_buf);
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.reduce(
+                RankId(0),
+                Loc::new(acc, 0),
+                Loc::new(op_buf, 0),
+                8,
+                DType::F64,
+                RedOp::Sum,
+                &deps,
+                i as u32,
+            ));
+        }
+        (b.finish().freeze(), bufs)
+    }
+
+    fn fill_chain(sch: &FrozenSchedule, bufs: &[mha_sched::BufId]) -> BufferStore {
+        let store = BufferStore::new(sch);
+        store.fill(bufs[0], 0, &1.0f64.to_ne_bytes());
+        for (i, &b) in bufs[1..].iter().enumerate() {
+            store.fill(b, 0, &((i + 2) as f64).to_ne_bytes());
+        }
+        store
+    }
+
+    fn acc_value(store: &BufferStore, acc: mha_sched::BufId) -> f64 {
+        f64::from_ne_bytes(store.read_all(acc).try_into().unwrap())
+    }
+
+    #[test]
+    fn single_kill_resume_is_exact_on_reduce_chain() {
+        // Sum 1 + 2 + ... + 11 = 66; kill at every possible point.
+        let (sch, bufs) = reduce_chain(10);
+        for k in 0..sch.n_ops() {
+            let store = fill_chain(&sch, &bufs);
+            let journal = CompletionJournal::for_schedule(&sch);
+            let err = run_single_killed(&sch, &store, &journal, k).unwrap_err();
+            assert!(matches!(err, ExecError::Killed { done, total: 10 } if done == k));
+            assert_eq!(journal.len(), k);
+            resume_single(&sch, &store, &journal).unwrap();
+            assert!(journal.is_complete());
+            assert_eq!(acc_value(&store, bufs[0]), 66.0, "kill at {k}");
+        }
+    }
+
+    #[test]
+    fn single_kill_past_end_completes() {
+        let (sch, bufs) = reduce_chain(4);
+        let store = fill_chain(&sch, &bufs);
+        let journal = CompletionJournal::for_schedule(&sch);
+        run_single_killed(&sch, &store, &journal, 99).unwrap();
+        assert!(journal.is_complete());
+        assert_eq!(acc_value(&store, bufs[0]), 15.0);
+    }
+
+    #[test]
+    fn threaded_kill_resume_is_exact() {
+        let (sch, bufs) = reduce_chain(12);
+        for seed in 0..20u64 {
+            let plan = KillPlan::seeded(seed, sch.n_ops(), 4);
+            let store = fill_chain(&sch, &bufs);
+            let journal = CompletionJournal::for_schedule(&sch);
+            match run_threaded_killed(&sch, &store, 4, &journal, &plan) {
+                Err(ExecError::Killed { done, total }) => {
+                    assert_eq!(done, journal.len());
+                    assert_eq!(total, sch.n_ops());
+                    assert!(done < total);
+                    resume_threaded(&sch, &store, 4, &journal).unwrap();
+                }
+                Ok(()) => assert!(journal.is_complete()),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(journal.is_complete());
+            assert_eq!(acc_value(&store, bufs[0]), 91.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn resume_is_idempotent() {
+        let (sch, bufs) = reduce_chain(8);
+        let store = fill_chain(&sch, &bufs);
+        let journal = CompletionJournal::for_schedule(&sch);
+        let _ = run_single_killed(&sch, &store, &journal, 3);
+        resume_single(&sch, &store, &journal).unwrap();
+        let after_once = acc_value(&store, bufs[0]);
+        resume_single(&sch, &store, &journal).unwrap();
+        resume_threaded(&sch, &store, 4, &journal).unwrap();
+        assert_eq!(acc_value(&store, bufs[0]), after_once);
+        assert_eq!(journal.len(), sch.n_ops());
+    }
+
+    #[test]
+    fn bad_journal_is_rejected_typed() {
+        let (sch, bufs) = reduce_chain(4);
+        let store = fill_chain(&sch, &bufs);
+        // Claims op 2 complete while its dependency (op 1) is not.
+        let journal = CompletionJournal::from_entries(sch.n_ops(), vec![0, 2]);
+        let err = run_single_journaled(&sch, &store, &journal).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Journal(JournalError::DepIncomplete { op: 2, dep: 1 })
+        ));
+        let err = run_threaded_journaled(&sch, &store, 2, &journal).unwrap_err();
+        assert!(matches!(err, ExecError::Journal(_)));
+    }
+
+    #[test]
+    fn single_and_threaded_journals_are_interchangeable() {
+        // Crash on the threaded pool, recover on the single executor.
+        let (sch, bufs) = reduce_chain(12);
+        let plan = KillPlan::kill_all(4, 4);
+        let store = fill_chain(&sch, &bufs);
+        let journal = CompletionJournal::for_schedule(&sch);
+        match run_threaded_killed(&sch, &store, 4, &journal, &plan) {
+            Err(ExecError::Killed { .. }) | Ok(()) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        resume_single(&sch, &store, &journal).unwrap();
+        assert_eq!(acc_value(&store, bufs[0]), 91.0);
     }
 
     #[test]

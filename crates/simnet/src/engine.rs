@@ -859,21 +859,54 @@ impl Simulator {
                 }
                 Ev::Fault { idx } => {
                     let fe = fault_events[idx as usize];
-                    let scale = match fe.kind {
-                        FaultKind::Derate(f) => f,
-                        FaultKind::Down => 0.0,
-                        FaultKind::Up => 1.0,
-                    };
-                    let (n_lo, n_hi) = match fe.node {
-                        Some(n) => (n, n + 1),
-                        None => (0, grid.nodes()),
-                    };
                     seeds.clear();
-                    for n in (n_lo..n_hi).map(NodeId) {
-                        for r in [rmap.tx(n, fe.rail), rmap.rx(n, fe.rail)] {
+                    if matches!(fe.kind, FaultKind::NodeDown | FaultKind::NodeUp) {
+                        // Whole-node crash/restart: every resource the node
+                        // owns — CPUs, memory ports, the cross-socket link,
+                        // and all rails of its HCAs — goes to 0 (or back to
+                        // nominal). Stalled rail flows back off until the
+                        // restart; CPU/mem flows wake on the recompute the
+                        // NodeUp seeds.
+                        let scale = if matches!(fe.kind, FaultKind::NodeDown) {
+                            0.0
+                        } else {
+                            1.0
+                        };
+                        let n = NodeId(fe.node.expect("validated: node faults carry a node"));
+                        for rank in grid.ranks_of(n) {
+                            seeds.push(rmap.cpu(rank));
+                        }
+                        for s in 0..self.spec.sockets() {
+                            seeds.push(rmap.mem(n, s));
+                        }
+                        for h in 0..self.spec.rails {
+                            seeds.push(rmap.tx(n, h));
+                            seeds.push(rmap.rx(n, h));
+                        }
+                        if self.spec.sockets() > 1 {
+                            seeds.push(rmap.xsocket(n));
+                        }
+                        for &r in seeds.iter() {
                             st.cap_scale[r.index()] = scale;
                             probe.resource_capacity(r.0, rmap.capacity(r) * scale, time);
-                            seeds.push(r);
+                        }
+                    } else {
+                        let scale = match fe.kind {
+                            FaultKind::Derate(f) => f,
+                            FaultKind::Down => 0.0,
+                            FaultKind::Up => 1.0,
+                            FaultKind::NodeDown | FaultKind::NodeUp => unreachable!(),
+                        };
+                        let (n_lo, n_hi) = match fe.node {
+                            Some(n) => (n, n + 1),
+                            None => (0, grid.nodes()),
+                        };
+                        for n in (n_lo..n_hi).map(NodeId) {
+                            for r in [rmap.tx(n, fe.rail), rmap.rx(n, fe.rail)] {
+                                st.cap_scale[r.index()] = scale;
+                                probe.resource_capacity(r.0, rmap.capacity(r) * scale, time);
+                                seeds.push(r);
+                            }
                         }
                     }
                     st.recompute(time, seeds, rmap, probe);

@@ -1,4 +1,4 @@
-//! Rail fault injection: timed per-rail capacity events and retry policy.
+//! Fault injection: timed rail/node capacity events and retry policy.
 //!
 //! Real multi-rail fabrics flap. A [`FaultSpec`] describes a deterministic
 //! timeline of per-rail events — bandwidth derates, link-down/link-up
@@ -9,6 +9,12 @@
 //! exponential backoff while no rail is up. Schedules built against the full
 //! rail set therefore still complete (degraded), and schedules built
 //! failure-aware (see `mha-collectives`) avoid the dead rails entirely.
+//!
+//! Beyond single rails, [`FaultKind::NodeDown`] / [`FaultKind::NodeUp`]
+//! model a whole-node crash: every CPU and every rail of that node drops to
+//! capacity 0 until the node restarts, so [`FaultSpec::node_crash`] is the
+//! timing-side mirror of the executed kill/resume scenario in `mha-exec`
+//! (same crash, modeled for latency there, executed for correctness here).
 //!
 //! Faults are strictly additive: a `Simulator` without a `FaultSpec` pushes
 //! no fault events and scales every capacity by exactly `1.0`, so fault-free
@@ -24,6 +30,14 @@ pub enum FaultKind {
     Down,
     /// The link comes back up at nominal bandwidth.
     Up,
+    /// The whole node crashes: its CPUs and *every* rail of its HCAs drop
+    /// to capacity 0 — compute stalls along with traffic. Requires
+    /// `node: Some(_)` (a node crash is never fabric-wide); the event's
+    /// `rail` field is ignored.
+    NodeDown,
+    /// The node restarts at nominal capacity (CPUs and all rails). The gap
+    /// between a `NodeDown` and its `NodeUp` is the recovery penalty.
+    NodeUp,
 }
 
 /// One timed fault event on one rail.
@@ -96,6 +110,32 @@ impl FaultSpec {
         s
     }
 
+    /// Convenience: `node` crashes at `time` and never comes back.
+    pub fn node_down_at(node: u32, time: f64) -> Self {
+        let mut s = FaultSpec::new(DEFAULT_RETRY_TIMEOUT);
+        s.events.push(FaultEvent {
+            time,
+            rail: 0,
+            node: Some(node),
+            kind: FaultKind::NodeDown,
+        });
+        s
+    }
+
+    /// Convenience: `node` crashes at `time` and restarts after a
+    /// `recovery` penalty — the timing-side mirror of a journaled
+    /// kill/resume in `mha-exec`.
+    pub fn node_crash(node: u32, time: f64, recovery: f64) -> Self {
+        let mut s = FaultSpec::node_down_at(node, time);
+        s.events.push(FaultEvent {
+            time: time + recovery,
+            rail: 0,
+            node: Some(node),
+            kind: FaultKind::NodeUp,
+        });
+        s
+    }
+
     /// Appends an event (builder style).
     pub fn with_event(mut self, ev: FaultEvent) -> Self {
         self.events.push(ev);
@@ -136,6 +176,11 @@ impl FaultSpec {
                     return Err(format!("event {i}: derate factor {f} outside (0, 1]"));
                 }
             }
+            if matches!(ev.kind, FaultKind::NodeDown | FaultKind::NodeUp) && ev.node.is_none() {
+                return Err(format!(
+                    "event {i}: node-level fault requires an explicit node"
+                ));
+            }
         }
         Ok(())
     }
@@ -157,6 +202,10 @@ impl FaultSpec {
                 FaultKind::Derate(f) => fp.push_u8(0).push_f64(f),
                 FaultKind::Down => fp.push_u8(1),
                 FaultKind::Up => fp.push_u8(2),
+                // Appended discriminants: timelines without node events
+                // digest exactly as before.
+                FaultKind::NodeDown => fp.push_u8(3),
+                FaultKind::NodeUp => fp.push_u8(4),
             };
         }
         fp.finish().0
@@ -224,5 +273,35 @@ mod tests {
         assert_eq!(s.down_rails_at(0.5, 2), Vec::<u8>::new());
         assert_eq!(s.down_rails_at(1.5, 2), vec![0]);
         assert_eq!(s.down_rails_at(2.5, 2), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn node_crash_constructors_validate() {
+        let s = FaultSpec::node_crash(1, 1e-3, 5e-4);
+        assert!(s.validate(2, 4).is_ok());
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[1].time, 1.5e-3);
+        assert!(FaultSpec::node_down_at(9, 0.0).validate(2, 4).is_err());
+        let s = FaultSpec::new(1e-3).with_event(FaultEvent {
+            time: 0.0,
+            rail: 0,
+            node: None,
+            kind: FaultKind::NodeDown,
+        });
+        assert!(s.validate(2, 4).is_err(), "node event without a node");
+    }
+
+    #[test]
+    fn node_events_are_not_fabric_wide_rail_downs() {
+        let s = FaultSpec::node_crash(0, 1.0, 1.0);
+        assert_eq!(s.down_rails_at(1.5, 2), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn digest_distinguishes_node_events() {
+        let a = FaultSpec::node_down_at(0, 1.0);
+        let b = FaultSpec::node_crash(0, 1.0, 1.0);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), FaultSpec::rail_down_at(0, 1.0).digest());
     }
 }

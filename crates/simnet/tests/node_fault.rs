@@ -1,0 +1,168 @@
+//! Node-level fault injection: a whole node crashing and restarting.
+//!
+//! The timing-side mirror of `mha-exec`'s journaled kill/resume: a
+//! `FaultSpec::node_crash` zeroes every resource the node owns (CPUs, mem,
+//! all rails) for the recovery window, and the engine must stall exactly
+//! the work touching that node, wake it at the restart, and still satisfy
+//! every run invariant.
+
+use mha_sched::{Channel, FrozenSchedule, InvariantProbe, Loc, ProcGrid, RankId, ScheduleBuilder};
+use mha_simnet::{ClusterSpec, FaultSpec, Simulator};
+
+/// Rank 0 (node 0) sends to rank 1 (node 1), which relays to rank 2
+/// (node 2) — node 1 is on the critical path of both hops.
+fn relay3(msg: usize) -> FrozenSchedule {
+    let grid = ProcGrid::new(3, 1);
+    let mut b = ScheduleBuilder::new(grid, "relay3");
+    let a = b.private_buf(RankId(0), msg, "a");
+    let c = b.private_buf(RankId(1), msg, "c");
+    let d = b.private_buf(RankId(2), msg, "d");
+    let t1 = b.transfer(
+        RankId(0),
+        RankId(1),
+        Loc::new(a, 0),
+        Loc::new(c, 0),
+        msg,
+        Channel::AllRails,
+        &[],
+        0,
+    );
+    b.transfer(
+        RankId(1),
+        RankId(2),
+        Loc::new(c, 0),
+        Loc::new(d, 0),
+        msg,
+        Channel::AllRails,
+        &[t1],
+        1,
+    );
+    b.finish().freeze()
+}
+
+#[test]
+fn node_crash_stalls_rail_traffic_until_restart() {
+    let sch = relay3(256 * 1024);
+    let spec = ClusterSpec::thor();
+
+    let m0 = Simulator::new(spec.clone())
+        .unwrap()
+        .run(&sch)
+        .unwrap()
+        .makespan;
+
+    // Node 1 is dead from t = 0 until the 1 ms recovery: nothing can reach
+    // it on any rail, so the whole collective waits out the penalty.
+    let recovery = 1e-3;
+    let sim = Simulator::with_faults(spec, FaultSpec::node_crash(1, 0.0, recovery)).unwrap();
+    let mut audit = InvariantProbe::new();
+    let m = sim.run_probed(&sch, &mut audit).unwrap().makespan;
+    assert!(audit.is_clean(), "violations: {:?}", audit.violations());
+    assert!(
+        m >= recovery,
+        "makespan {m:.6} finished inside the outage (recovery {recovery:.6})"
+    );
+    assert!(
+        m > m0,
+        "crash run ({m:.6}) not slower than clean run ({m0:.6})"
+    );
+}
+
+#[test]
+fn node_crash_stalls_cpu_work_until_restart() {
+    // Pure compute on node 1: exercises the CPU-resource stall/wake path
+    // (route-less flows wake via the NodeUp recompute, not rail retry).
+    let grid = ProcGrid::new(2, 1);
+    let mut b = ScheduleBuilder::new(grid, "busy");
+    b.compute(RankId(1), 50_000_000, &[], 0);
+    let sch = b.finish().freeze();
+
+    let spec = ClusterSpec::thor();
+    let m0 = Simulator::new(spec.clone())
+        .unwrap()
+        .run(&sch)
+        .unwrap()
+        .makespan;
+
+    let recovery = 2e-3;
+    let sim = Simulator::with_faults(spec, FaultSpec::node_crash(1, 0.0, recovery)).unwrap();
+    let mut audit = InvariantProbe::new();
+    let m = sim.run_probed(&sch, &mut audit).unwrap().makespan;
+    assert!(audit.is_clean(), "violations: {:?}", audit.violations());
+    assert!(
+        m >= recovery && m > m0,
+        "compute on the dead node ran through the outage: {m:.6} vs clean {m0:.6}"
+    );
+}
+
+#[test]
+fn crash_of_an_uninvolved_node_is_invisible() {
+    // Only nodes 0 and 1 carry traffic; node 2 crashing must not perturb
+    // the makespan at all — the recompute it seeds touches resources with
+    // no flows on them.
+    let grid = ProcGrid::new(3, 1);
+    let mut b = ScheduleBuilder::new(grid, "pair");
+    let s = b.private_buf(RankId(0), 64 * 1024, "s");
+    let d = b.private_buf(RankId(1), 64 * 1024, "d");
+    b.transfer(
+        RankId(0),
+        RankId(1),
+        Loc::new(s, 0),
+        Loc::new(d, 0),
+        64 * 1024,
+        Channel::AllRails,
+        &[],
+        0,
+    );
+    let sch = b.finish().freeze();
+
+    let spec = ClusterSpec::thor();
+    let m0 = Simulator::new(spec.clone())
+        .unwrap()
+        .run(&sch)
+        .unwrap()
+        .makespan;
+    let sim = Simulator::with_faults(spec, FaultSpec::node_crash(2, 1e-6, 1e-4)).unwrap();
+    let m = sim.run(&sch).unwrap().makespan;
+    assert_eq!(
+        m.to_bits(),
+        m0.to_bits(),
+        "idle-node crash shifted makespan: {m:.9} vs {m0:.9}"
+    );
+}
+
+#[test]
+fn mid_flight_crash_extends_but_completes() {
+    // Crash node 1 while the first hop is in flight; the flow loses its
+    // rail mid-transfer, backs off, and finishes after the restart.
+    let sch = relay3(1024 * 1024);
+    let spec = ClusterSpec::thor();
+    let m0 = Simulator::new(spec.clone())
+        .unwrap()
+        .run(&sch)
+        .unwrap()
+        .makespan;
+    let t_crash = m0 * 0.25;
+    let recovery = m0; // out for as long as the clean run took
+    let sim = Simulator::with_faults(spec, FaultSpec::node_crash(1, t_crash, recovery)).unwrap();
+    let mut audit = InvariantProbe::new();
+    let m = sim.run_probed(&sch, &mut audit).unwrap().makespan;
+    assert!(audit.is_clean(), "violations: {:?}", audit.violations());
+    assert!(
+        m >= t_crash + recovery,
+        "run finished at {m:.6} inside the outage [{t_crash:.6}, {:.6})",
+        t_crash + recovery
+    );
+}
+
+#[test]
+fn node_events_reject_missing_node() {
+    let spec = ClusterSpec::thor();
+    let bad = FaultSpec::new(1e-4).with_event(mha_simnet::FaultEvent {
+        time: 0.0,
+        rail: 0,
+        node: None,
+        kind: mha_simnet::FaultKind::NodeDown,
+    });
+    assert!(Simulator::with_faults(spec, bad).is_err());
+}
