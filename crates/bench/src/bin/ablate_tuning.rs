@@ -6,7 +6,8 @@
 
 use mha_apps::report::Table;
 use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
-use mha_collectives::mha::{build_mha_intra, optimal_offload, tune_offload, Offload};
+use mha_collectives::mha::{optimal_offload, tune_offload, Offload};
+use mha_collectives::{build, AlgoConfig, Family};
 use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, Simulator};
 
@@ -24,10 +25,15 @@ fn main() {
                 let grid = ProcGrid::single_node(l);
                 let d_eq1 = optimal_offload(&spec, l, msg);
                 let (d_tuned, _) = tune_offload(&spec, l, msg).map_err(|e| format!("{e:?}"))?;
-                let eq1 = build_mha_intra(grid, msg, Offload::Fixed(d_eq1), &spec)
-                    .map_err(|e| format!("{e:?}"))?;
-                let tuned = build_mha_intra(grid, msg, Offload::Fixed(d_tuned), &spec)
-                    .map_err(|e| format!("{e:?}"))?;
+                // Both candidates go through the unified AlgoConfig
+                // dispatcher — the same path the tuning table serves.
+                let intra = |d: u32| AlgoConfig {
+                    offload: Offload::Fixed(d),
+                    ..AlgoConfig::flat(Family::MhaIntra)
+                };
+                let eq1 = build(&intra(d_eq1), grid, msg, &spec).map_err(|e| format!("{e:?}"))?;
+                let tuned =
+                    build(&intra(d_tuned), grid, msg, &spec).map_err(|e| format!("{e:?}"))?;
                 let t_eq1 = sim.run(&eq1.sched).map_err(|e| e.to_string())?.latency_us();
                 let t_tuned = sim
                     .run(&tuned.sched)

@@ -1,32 +1,37 @@
 //! Figure 12: inter-node Allgather on 256 processes
 //! (8 nodes x 32 PPN), medium and large message sweeps. Both panels run
-//! as campaigns (see `mha_bench::campaign`).
+//! as campaigns (see `mha_bench::campaign`). With `--tuned` each panel
+//! gains an `MHA-tuned` column served from the `mha-tune` tuning table
+//! (`results/tuned_thor.mtab` or `MHA_TUNED_TABLE`) by pure probes.
 
 use mha_apps::paper_contestants;
-use mha_bench::campaign::{allgather_sweep, CampaignConfig};
+use mha_bench::campaign::{allgather_sweep_tuned, CampaignConfig};
 use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 fn main() {
     mha_bench::apply_check_flag();
+    let tuned = mha_bench::apply_tuned_flag();
     let spec = ClusterSpec::thor();
     let cfg = CampaignConfig::from_env();
     let grid = ProcGrid::new(8, 32);
-    let medium = allgather_sweep(
+    let medium = allgather_sweep_tuned(
         "Figure 12a: Allgather latency (us), 256 processes, medium messages",
         grid,
         &mha_bench::medium_sizes(),
         &paper_contestants(),
+        tuned.as_ref(),
         &spec,
         &cfg,
     )
     .unwrap();
     mha_bench::emit(&medium, "fig12_inter_allgather_256_medium");
-    let large = allgather_sweep(
+    let large = allgather_sweep_tuned(
         "Figure 12b: Allgather latency (us), 256 processes, large messages",
         grid,
         &mha_bench::large_sizes(),
         &paper_contestants(),
+        tuned.as_ref(),
         &spec,
         &cfg,
     )

@@ -37,6 +37,7 @@ use std::sync::{Arc, OnceLock};
 
 use mha_apps::report::{fmt_bytes, Table};
 use mha_apps::Contestant;
+use mha_collectives::{AlgoConfig, TunedTable};
 use mha_sched::{Fingerprinter, FrozenSchedule, ProcGrid};
 use mha_simnet::{ClusterSpec, EngineArena, FaultSpec, Simulator};
 
@@ -100,6 +101,21 @@ impl ConfigKey {
         ConfigKey {
             topo_digest: topo.digest(),
             ..Self::new(family, grid, msg, spec)
+        }
+    }
+
+    /// The key of an [`AlgoConfig`]-dispatched build: family string
+    /// `"algo/<family token>"`, salt = [`AlgoConfig::digest`] (covering
+    /// every remaining knob — inter/overlap/offload/chunk/stripe/rails),
+    /// and the spec digest taken from [`AlgoConfig::effective_spec`] so a
+    /// stripe-threshold override re-keys exactly like the build and the
+    /// pricing see it. One hash path: the tuning table and the schedule
+    /// cache derive from the same config digest.
+    pub fn for_algo(cfg: &AlgoConfig, grid: ProcGrid, msg: usize, spec: &ClusterSpec) -> Self {
+        ConfigKey {
+            spec_digest: cfg.effective_spec(spec).digest(),
+            salt: cfg.digest(),
+            ..Self::new(format!("algo/{}", cfg.family.token()), grid, msg, spec)
         }
     }
 
@@ -611,8 +627,32 @@ pub fn allgather_sweep(
     spec: &ClusterSpec,
     cfg: &CampaignConfig,
 ) -> Result<Table, String> {
+    allgather_sweep_tuned(title, grid, sizes, contestants, None, spec, cfg)
+}
+
+/// Column label of the tuning-table column [`allgather_sweep_tuned`]
+/// appends.
+pub const TUNED_COLUMN: &str = "MHA-tuned";
+
+/// [`allgather_sweep`] plus an optional [`TUNED_COLUMN`]: when `tuned` is
+/// a loaded [`TunedTable`], every row gains one extra cell whose config
+/// comes from a **pure table probe** ([`TunedTable::lookup`] — no search,
+/// no build on the serving path) and whose schedule is the one
+/// [`mha_collectives::build`] dispatch call on the served [`AlgoConfig`],
+/// priced on the config's effective spec. With `tuned = None` the table is
+/// bit-identical to [`allgather_sweep`]'s.
+pub fn allgather_sweep_tuned(
+    title: &str,
+    grid: ProcGrid,
+    sizes: &[usize],
+    contestants: &[Contestant],
+    tuned: Option<&TunedTable>,
+    spec: &ClusterSpec,
+    cfg: &CampaignConfig,
+) -> Result<Table, String> {
     let row_labels: Vec<String> = sizes.iter().map(|&m| fmt_bytes(m)).collect();
-    let mut cells = Vec::with_capacity(sizes.len() * contestants.len());
+    let ncols = contestants.len() + usize::from(tuned.is_some());
+    let mut cells = Vec::with_capacity(sizes.len() * ncols);
     for &msg in sizes {
         for &c in contestants {
             let key = ConfigKey::new(format!("allgather/{}", c.name()), grid, msg, spec);
@@ -623,15 +663,23 @@ pub fn allgather_sweep(
                     .map_err(|e| e.to_string())
             }));
         }
+        if let Some(table) = tuned {
+            let served = table.lookup(grid, msg, spec.rails);
+            let key = ConfigKey::for_algo(&served, grid, msg, spec);
+            let sim_spec = served.effective_spec(spec).into_owned();
+            let build_spec = sim_spec.clone();
+            cells.push(CampaignPoint::sim(TUNED_COLUMN, key, sim_spec, move || {
+                mha_collectives::build(&served, grid, msg, &build_spec)
+                    .map(|b| b.sched)
+                    .map_err(|e| e.to_string())
+            }));
+        }
     }
-    campaign_table(
-        title,
-        "msg_bytes",
-        contestants.iter().map(Contestant::name).collect(),
-        &row_labels,
-        cells,
-        cfg,
-    )
+    let mut columns: Vec<String> = contestants.iter().map(Contestant::name).collect();
+    if tuned.is_some() {
+        columns.push(TUNED_COLUMN.into());
+    }
+    campaign_table(title, "msg_bytes", columns, &row_labels, cells, cfg)
 }
 
 /// Campaign-backed `osu_allreduce` sweep over vector sizes in bytes (f32
@@ -797,6 +845,70 @@ mod tests {
         );
         assert_ne!(base, base.clone().with_salt(1));
         assert_eq!(base, ConfigKey::new("f", ProcGrid::new(2, 4), 1024, &spec));
+    }
+
+    #[test]
+    fn algo_keys_cover_every_config_knob() {
+        use mha_collectives::Family;
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(4, 4);
+        let base = ConfigKey::for_algo(&AlgoConfig::default(), grid, 4096, &spec);
+        assert_eq!(base.family, "algo/mha-inter");
+        // Any knob change re-keys through the salt (= config digest).
+        let chunked = AlgoConfig {
+            chunk: Some(2),
+            ..AlgoConfig::default()
+        };
+        assert_ne!(base, ConfigKey::for_algo(&chunked, grid, 4096, &spec));
+        // A stripe override re-keys through the *effective spec* digest,
+        // exactly as the build and the pricing see it.
+        let striped = AlgoConfig {
+            stripe_threshold: Some(1024),
+            ..AlgoConfig::default()
+        };
+        let sk = ConfigKey::for_algo(&striped, grid, 4096, &spec);
+        assert_eq!(sk.spec_digest, striped.effective_spec(&spec).digest());
+        assert_ne!(base.spec_digest, sk.spec_digest);
+        // Families keep distinct family strings.
+        let ring = ConfigKey::for_algo(&AlgoConfig::flat(Family::Ring), grid, 4096, &spec);
+        assert_eq!(ring.family, "algo/ring");
+        assert_ne!(base, ring);
+    }
+
+    #[test]
+    fn tuned_sweep_appends_a_pure_probe_column() {
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(2, 4);
+        let sizes = [256usize, 4096];
+        let contestants = mha_apps::paper_contestants();
+        let cfg = CampaignConfig::default();
+        // None → bit-identical to the plain sweep.
+        let plain = allgather_sweep("t", grid, &sizes, &contestants, &spec, &cfg).unwrap();
+        let none =
+            allgather_sweep_tuned("t", grid, &sizes, &contestants, None, &spec, &cfg).unwrap();
+        assert_eq!(plain.to_csv(), none.to_csv());
+        // Some → one extra column serving the stored config per point.
+        let mut table = TunedTable::new(spec.digest());
+        for &msg in &sizes {
+            table.insert(
+                mha_collectives::TableKey::for_query(grid, msg, spec.rails),
+                AlgoConfig::default(),
+            );
+        }
+        let tuned =
+            allgather_sweep_tuned("t", grid, &sizes, &contestants, Some(&table), &spec, &cfg)
+                .unwrap();
+        let header = tuned.to_csv().lines().next().unwrap().to_string();
+        assert!(header.ends_with(&format!(",{TUNED_COLUMN}")), "{header}");
+        // The tuned cell is exactly the dispatched build of the served
+        // config, priced on the same spec.
+        let sim = Simulator::new(spec.clone()).unwrap();
+        for (&msg, (_, row)) in sizes.iter().zip(tuned.rows()) {
+            let served = table.lookup(grid, msg, spec.rails);
+            let built = mha_collectives::build(&served, grid, msg, &spec).unwrap();
+            let want = sim.run(&built.sched).unwrap().latency_us();
+            assert_eq!(row.last().unwrap().to_bits(), want.to_bits(), "msg={msg}");
+        }
     }
 
     #[test]

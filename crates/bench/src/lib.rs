@@ -28,6 +28,40 @@ pub fn apply_check_flag() {
     }
 }
 
+/// Loads the tuning table when `--tuned` is on the command line: the
+/// serving half of the `mha-tune` autotuner. The table comes from
+/// `MHA_TUNED_TABLE` if set, else `results/tuned_thor.mtab` (honoring
+/// `MHA_RESULTS_DIR`). Returns `None` without the flag — the sweeps then
+/// stay byte-identical to their untuned output. A flagged run that cannot
+/// load its table is an error, not a silent fallback: the user asked for
+/// tuned numbers.
+pub fn apply_tuned_flag() -> Option<mha_collectives::TunedTable> {
+    if !std::env::args().any(|a| a == "--tuned") {
+        return None;
+    }
+    let path = std::env::var_os("MHA_TUNED_TABLE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("tuned_thor.mtab"));
+    match mha_collectives::TunedTable::load(&path) {
+        Ok(t) => {
+            eprintln!(
+                "[--tuned: serving {} entries from {} (digest {:016x})]",
+                t.len(),
+                path.display(),
+                t.digest()
+            );
+            Some(t)
+        }
+        Err(e) => {
+            eprintln!(
+                "error: --tuned requested but {} is unusable: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Directory the `fig*` binaries write CSVs into (`results/` at the
 /// workspace root, honoring `MHA_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {

@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use mha_bench::campaign::{ConfigKey, ScheduleCache};
 use mha_bench::pt2pt_rails_schedule;
-use mha_sched::{TopoLevel, Topology};
+use mha_collectives::mha::{InterAlgo, Offload};
+use mha_collectives::{AlgoConfig, Family, Library};
+use mha_sched::{ProcGrid, TopoLevel, Topology};
 use mha_simnet::ClusterSpec;
 use proptest::prelude::*;
 
@@ -32,6 +34,58 @@ fn arb_tree() -> impl Strategy<Value = Topology> {
                 .collect(),
         )
     })
+}
+
+/// A random point of the [`AlgoConfig`] design space — every field the
+/// digest (and hence [`ConfigKey::for_algo`]'s salt) must separate.
+fn arb_algo_config() -> impl Strategy<Value = AlgoConfig> {
+    let family = prop_oneof![
+        Just(Family::Ring),
+        Just(Family::RecursiveDoubling),
+        Just(Family::Bruck),
+        Just(Family::DirectSpread),
+        Just(Family::SingleLeader),
+        (1u32..=4).prop_map(|groups| Family::MultiLeader { groups }),
+        Just(Family::MhaIntra),
+        Just(Family::MhaInter),
+        Just(Family::Library(Library::HpcX)),
+        Just(Family::Library(Library::Mvapich2X)),
+    ]
+    .boxed();
+    let offload = prop_oneof![
+        Just(Offload::None),
+        Just(Offload::Auto),
+        (1u32..=8).prop_map(Offload::Fixed),
+    ]
+    .boxed();
+    let chunk = prop_oneof![Just(None), (1u32..=8).prop_map(Some)].boxed();
+    let stripe = prop_oneof![Just(None), (1usize..=(1 << 18)).prop_map(Some)].boxed();
+    (
+        family,
+        any::<bool>(),
+        any::<bool>(),
+        offload,
+        chunk,
+        stripe,
+        proptest::collection::vec(0u8..4, 0..3),
+    )
+        .prop_map(
+            |(family, rd_inter, overlap, offload, chunk, stripe_threshold, down_rails)| {
+                AlgoConfig {
+                    family,
+                    inter: if rd_inter {
+                        InterAlgo::RecursiveDoubling
+                    } else {
+                        InterAlgo::Ring
+                    },
+                    overlap,
+                    offload,
+                    chunk,
+                    stripe_threshold,
+                    down_rails,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -60,6 +114,43 @@ proptest! {
             prop_assert_eq!(cache.hits(), 1);
         } else {
             prop_assert!(!Arc::ptr_eq(&sa, &sb), "distinct trees must not alias");
+            prop_assert_eq!(cache.misses(), 2);
+            prop_assert_eq!(cache.len(), 2);
+        }
+    }
+
+    /// Satellite property of the unified config key: two distinct
+    /// [`AlgoConfig`]s must never alias a cache entry (their digest is the
+    /// key's salt, so a collision would silently serve the wrong
+    /// schedule), and equal configs must share one entry. Also pins the
+    /// derivation: `ConfigKey::for_algo` == kv-round-tripped config's key,
+    /// so the serialized `.mtab` form and the in-memory form hash alike.
+    #[test]
+    fn distinct_algo_configs_never_alias_a_cache_entry(
+        a in arb_algo_config(),
+        b in arb_algo_config(),
+        msg in 1usize..=(1 << 14),
+    ) {
+        let spec = ClusterSpec::thor();
+        let grid = ProcGrid::new(4, 4);
+        let ka = ConfigKey::for_algo(&a, grid, msg, &spec);
+        let kb = ConfigKey::for_algo(&b, grid, msg, &spec);
+        prop_assert_eq!(a == b, ka == kb, "key equality must mirror config equality\n a={:?}\n b={:?}", a, b);
+
+        // The text round trip preserves the key (one hash path from the
+        // .mtab entry payload to the schedule cache).
+        let back = AlgoConfig::parse_kv(&a.to_kv()).unwrap();
+        prop_assert_eq!(&ka, &ConfigKey::for_algo(&back, grid, msg, &spec));
+
+        let cache = ScheduleCache::new(true);
+        let sa = cache.get_or_build(&ka, || Ok(pt2pt_rails_schedule(8))).unwrap();
+        let sb = cache.get_or_build(&kb, || Ok(pt2pt_rails_schedule(16))).unwrap();
+        if a == b {
+            prop_assert!(Arc::ptr_eq(&sa, &sb), "equal configs must share the entry");
+            prop_assert_eq!(cache.misses(), 1);
+            prop_assert_eq!(cache.hits(), 1);
+        } else {
+            prop_assert!(!Arc::ptr_eq(&sa, &sb), "distinct configs must not alias");
             prop_assert_eq!(cache.misses(), 2);
             prop_assert_eq!(cache.len(), 2);
         }

@@ -5,9 +5,7 @@ use mha_sched::ProcGrid;
 use mha_simnet::ClusterSpec;
 
 use crate::ctx::{BuildError, Built};
-use crate::flat;
 use crate::mha::{self, MhaInterConfig, Offload};
-use crate::twolevel;
 
 /// Every Allgather algorithm the crate implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,25 +54,16 @@ impl AllgatherAlgo {
         }
     }
 
-    /// Builds the schedule for `grid` and per-rank contribution `msg`.
+    /// Builds the schedule for `grid` and per-rank contribution `msg` —
+    /// a thin wrapper over the unified [`crate::build`] dispatcher via
+    /// `AlgoConfig::from(*self)`.
     pub fn build(
         &self,
         grid: ProcGrid,
         msg: usize,
         spec: &ClusterSpec,
     ) -> Result<Built, BuildError> {
-        match *self {
-            AllgatherAlgo::Ring => Ok(flat::build_ring(grid, msg)),
-            AllgatherAlgo::RecursiveDoubling => flat::build_recursive_doubling(grid, msg),
-            AllgatherAlgo::Bruck => Ok(flat::build_bruck(grid, msg)),
-            AllgatherAlgo::DirectSpread => Ok(flat::build_direct_spread(grid, msg)),
-            AllgatherAlgo::SingleLeader => twolevel::build_single_leader(grid, msg),
-            AllgatherAlgo::MultiLeader { groups } => {
-                twolevel::build_multi_leader(grid, msg, groups)
-            }
-            AllgatherAlgo::MhaIntra { offload } => mha::build_mha_intra(grid, msg, offload, spec),
-            AllgatherAlgo::MhaInter(cfg) => mha::build_mha_inter(grid, msg, cfg, spec),
-        }
+        crate::config::build(&crate::config::AlgoConfig::from(*self), grid, msg, spec)
     }
 }
 

@@ -54,6 +54,13 @@ pub enum LevelAlgo {
         inter: InterAlgo,
         /// Whether the distribute overlaps the exchange.
         overlap: bool,
+        /// Pipeline granularity in rank-blocks: each exchange step's
+        /// region is split into pieces of at most this many blocks, each
+        /// forwarded (Ring) or gated (RD) independently — a finer
+        /// pipeline than the paper's whole-node-block steps. `None` (and
+        /// any value ≥ the step region) emits the block-granular stream
+        /// byte-identically.
+        chunk: Option<u32>,
     },
     /// Whole-tree flat ring over the flattened grid.
     Ring,
@@ -123,10 +130,17 @@ impl ComposePlan {
 
     /// MHA-inter as the 2-level `[Exchange, Gather]` instantiation.
     pub fn mha_inter(cfg: crate::mha::MhaInterConfig) -> Self {
+        ComposePlan::mha_inter_chunked(cfg, None)
+    }
+
+    /// [`ComposePlan::mha_inter`] with an explicit Exchange pipeline
+    /// chunk (rank-blocks per piece; `None` = whole node blocks).
+    pub fn mha_inter_chunked(cfg: crate::mha::MhaInterConfig, chunk: Option<u32>) -> Self {
         ComposePlan::new(vec![
             LevelAlgo::Exchange {
                 inter: cfg.inter,
                 overlap: cfg.overlap,
+                chunk,
             },
             LevelAlgo::Gather {
                 offload: cfg.offload,
@@ -140,6 +154,7 @@ impl ComposePlan {
             LevelAlgo::Exchange {
                 inter: InterAlgo::Ring,
                 overlap: true,
+                chunk: None,
             },
             LevelAlgo::Import {
                 offload: offload_xsocket,
@@ -162,7 +177,11 @@ impl ComposePlan {
         if depth <= 1 {
             return ComposePlan::gather(gather);
         }
-        let mut levels = vec![LevelAlgo::Exchange { inter, overlap }];
+        let mut levels = vec![LevelAlgo::Exchange {
+            inter,
+            overlap,
+            chunk: None,
+        }];
         levels.extend(std::iter::repeat_n(
             LevelAlgo::Import {
                 offload: import_offload,
@@ -181,14 +200,16 @@ impl ComposePlan {
                 LevelAlgo::Gather { .. } => "gather".to_string(),
                 LevelAlgo::Import { offload: true } => "import-hca".to_string(),
                 LevelAlgo::Import { offload: false } => "import".to_string(),
-                LevelAlgo::Exchange {
-                    inter: InterAlgo::Ring,
-                    ..
-                } => "xchg-ring".to_string(),
-                LevelAlgo::Exchange {
-                    inter: InterAlgo::RecursiveDoubling,
-                    ..
-                } => "xchg-rd".to_string(),
+                LevelAlgo::Exchange { inter, chunk, .. } => {
+                    let base = match inter {
+                        InterAlgo::Ring => "xchg-ring",
+                        InterAlgo::RecursiveDoubling => "xchg-rd",
+                    };
+                    match chunk {
+                        Some(c) => format!("{base}(c={c})"),
+                        None => base.to_string(),
+                    }
+                }
                 LevelAlgo::Ring => "ring".to_string(),
                 LevelAlgo::RecursiveDoubling => "rd".to_string(),
                 LevelAlgo::Bruck => "bruck".to_string(),
@@ -211,6 +232,7 @@ enum PlanKind {
     Hier {
         inter: InterAlgo,
         overlap: bool,
+        chunk: Option<u32>,
         /// Import offload flags; `imports[dd - 1]` belongs to tree level
         /// `dd` (the level whose groups the stage merges into).
         imports: Vec<bool>,
@@ -245,7 +267,12 @@ fn plan_kind(plan: &ComposePlan, depth: usize) -> Result<PlanKind, BuildError> {
                     levels.len()
                 )));
             }
-            let LevelAlgo::Exchange { inter, overlap } = levels[0] else {
+            let LevelAlgo::Exchange {
+                inter,
+                overlap,
+                chunk,
+            } = levels[0]
+            else {
                 return Err(BuildError::BadParameter(
                     "a hierarchical plan starts with an Exchange level".into(),
                 ));
@@ -267,6 +294,7 @@ fn plan_kind(plan: &ComposePlan, depth: usize) -> Result<PlanKind, BuildError> {
             Ok(PlanKind::Hier {
                 inter,
                 overlap,
+                chunk,
                 imports,
                 gather,
             })
@@ -361,6 +389,7 @@ pub(crate) fn emit_plan(
         PlanKind::Hier {
             inter,
             overlap,
+            chunk,
             imports,
             gather,
         } => {
@@ -373,7 +402,9 @@ pub(crate) fn emit_plan(
                     &full
                 }
             };
-            emit_hier(ctx, topo, inter, overlap, &imports, gather, spec, rails);
+            emit_hier(
+                ctx, topo, inter, overlap, chunk, &imports, gather, spec, rails,
+            );
             Ok(())
         }
     }
@@ -565,6 +596,20 @@ pub(crate) fn leader_chunk_transfer(
     )
 }
 
+/// Splits a step's region of `total_blocks` rank-blocks into pipeline
+/// pieces of at most `chunk` blocks as `(start, len)` block offsets.
+/// `None`, `0`, and any chunk ≥ the region keep it whole — one piece,
+/// whose emission is bit-identical to the unchunked stream.
+fn exchange_pieces(total_blocks: u32, chunk: Option<u32>) -> Vec<(u32, u32)> {
+    match chunk {
+        Some(c) if c > 0 && c < total_blocks => (0..total_blocks)
+            .step_by(c as usize)
+            .map(|start| (start, c.min(total_blocks - start)))
+            .collect(),
+        _ => vec![(0, total_blocks)],
+    }
+}
+
 /// The hierarchical emission engine. Preconditions (checked by
 /// [`emit_plan`]): the context is non-degenerate, the tree matches the
 /// grid, `depth ≥ 2`, and RD implies a power-of-two outer fanout.
@@ -574,6 +619,7 @@ fn emit_hier(
     topo: &Topology,
     inter: InterAlgo,
     overlap: bool,
+    chunk: Option<u32>,
     imports: &[bool],
     gather: Offload,
     spec: &ClusterSpec,
@@ -680,7 +726,6 @@ fn emit_hier(
     // the cross-socket interconnect on their copy-outs. (That NUMA
     // blindness is exactly what the deeper instantiations fix.)
     let gs1 = topo.group_size(1);
-    let node_block = gs1 as usize * msg;
     let total = grid.nranks() as usize * msg;
     let shm: Vec<Vec<BufId>> = if depth >= 3 {
         let nseg = topo.fanout(1);
@@ -720,44 +765,65 @@ fn emit_hier(
 
     let mut arrivals: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
     let mut rr = 0usize; // round-robin cursor for degraded small chunks
+
+    // final_recv[nd]: ops after which node nd's exchange is complete — the
+    // non-overlapped distribute's gate (a single op unchunked; chunked,
+    // every piece's last-step transfer).
+    let final_recv: Vec<Vec<OpId>>;
     match inter {
         InterAlgo::Ring => {
-            // avail[nd]: ops guaranteeing the block node nd sends this step.
-            let mut avail: Vec<Vec<OpId>> = region_done;
-            let mut prev_recv: Vec<Option<OpId>> = vec![None; n as usize];
+            // The forwarded unit is a node block; pieces pipeline it.
+            let pieces = exchange_pieces(gs1, chunk);
+            let np = pieces.len();
+            // avail[nd][p]: ops guaranteeing piece p of the block node nd
+            // sends this step.
+            let mut avail: Vec<Vec<Vec<OpId>>> =
+                region_done.into_iter().map(|d| vec![d; np]).collect();
+            let mut prev_recv: Vec<Vec<Option<OpId>>> = vec![vec![None; np]; n as usize];
             for s in 0..n - 1 {
                 let mut next_avail = Vec::with_capacity(n as usize);
                 let mut next_recv = Vec::with_capacity(n as usize);
                 for nd in 0..n {
                     let sender = (nd + n - 1) % n;
                     let block_node = (sender + n - s) % n;
-                    let mut deps = avail[sender as usize].clone();
-                    deps.extend(prev_recv[nd as usize]);
                     let (lsrc, ldst) = (leader(sender), leader(nd));
-                    let t = leader_chunk_transfer(
-                        ctx,
-                        rails,
-                        spec,
-                        &mut rr,
-                        lsrc,
-                        ldst,
-                        chunk_loc(ctx.recv[lsrc.index()], block_node * gs1),
-                        chunk_loc(ctx.recv[ldst.index()], block_node * gs1),
-                        node_block,
-                        &deps,
-                        1000 + s,
-                    );
-                    arrivals[nd as usize].push(Arrival {
-                        start_block: block_node * gs1,
-                        nblocks: gs1,
-                        op: t,
-                    });
-                    next_avail.push(vec![t]);
-                    next_recv.push(Some(t));
+                    let mut nd_avail = Vec::with_capacity(np);
+                    let mut nd_recv = Vec::with_capacity(np);
+                    for (p, &(pstart, plen)) in pieces.iter().enumerate() {
+                        let mut deps = avail[sender as usize][p].clone();
+                        deps.extend(prev_recv[nd as usize][p]);
+                        let start = block_node * gs1 + pstart;
+                        let t = leader_chunk_transfer(
+                            ctx,
+                            rails,
+                            spec,
+                            &mut rr,
+                            lsrc,
+                            ldst,
+                            chunk_loc(ctx.recv[lsrc.index()], start),
+                            chunk_loc(ctx.recv[ldst.index()], start),
+                            plen as usize * msg,
+                            &deps,
+                            1000 + s,
+                        );
+                        arrivals[nd as usize].push(Arrival {
+                            start_block: start,
+                            nblocks: plen,
+                            op: t,
+                        });
+                        nd_avail.push(vec![t]);
+                        nd_recv.push(Some(t));
+                    }
+                    next_avail.push(nd_avail);
+                    next_recv.push(nd_recv);
                 }
                 avail = next_avail;
                 prev_recv = next_recv;
             }
+            final_recv = prev_recv
+                .into_iter()
+                .map(|v| v.into_iter().flatten().collect())
+                .collect();
         }
         InterAlgo::RecursiveDoubling => {
             // net_cur[nd]: deps representing "node nd's region is current".
@@ -765,6 +831,10 @@ fn emit_hier(
             let steps = n.trailing_zeros();
             for k in 0..steps {
                 let dist = 1u32 << k;
+                // The exchanged unit doubles each step; pieces split it
+                // with whole-region deps (RD's butterfly admits no finer
+                // cross-step forwarding).
+                let pieces = exchange_pieces(dist * gs1, chunk);
                 let mut next_cur = net_cur.clone();
                 for nd in 0..n {
                     let partner = nd ^ dist;
@@ -772,28 +842,34 @@ fn emit_hier(
                     let mut deps = net_cur[partner as usize].clone();
                     deps.extend(net_cur[nd as usize].iter().copied());
                     let (lsrc, ldst) = (leader(partner), leader(nd));
-                    let t = leader_chunk_transfer(
-                        ctx,
-                        rails,
-                        spec,
-                        &mut rr,
-                        lsrc,
-                        ldst,
-                        chunk_loc(ctx.recv[lsrc.index()], pbase * gs1),
-                        chunk_loc(ctx.recv[ldst.index()], pbase * gs1),
-                        dist as usize * node_block,
-                        &deps,
-                        1000 + k,
-                    );
-                    arrivals[nd as usize].push(Arrival {
-                        start_block: pbase * gs1,
-                        nblocks: dist * gs1,
-                        op: t,
-                    });
-                    next_cur[nd as usize] = vec![t];
+                    let mut got = Vec::with_capacity(pieces.len());
+                    for &(pstart, plen) in &pieces {
+                        let start = pbase * gs1 + pstart;
+                        let t = leader_chunk_transfer(
+                            ctx,
+                            rails,
+                            spec,
+                            &mut rr,
+                            lsrc,
+                            ldst,
+                            chunk_loc(ctx.recv[lsrc.index()], start),
+                            chunk_loc(ctx.recv[ldst.index()], start),
+                            plen as usize * msg,
+                            &deps,
+                            1000 + k,
+                        );
+                        arrivals[nd as usize].push(Arrival {
+                            start_block: start,
+                            nblocks: plen,
+                            op: t,
+                        });
+                        got.push(t);
+                    }
+                    next_cur[nd as usize] = got;
                 }
                 net_cur = next_cur;
             }
+            final_recv = net_cur;
         }
     }
 
@@ -806,9 +882,12 @@ fn emit_hier(
     let seg_size = if depth >= 3 { topo.group_size(2) } else { gs1 };
     for node in grid.node_ids() {
         let nd = node.index();
-        let last_recv = arrivals[nd].last().expect("n >= 2 has arrivals").op;
         for (idx, arr) in arrivals[nd].iter().enumerate() {
-            let gate = if overlap { arr.op } else { last_recv };
+            let gate: &[OpId] = if overlap {
+                std::slice::from_ref(&arr.op)
+            } else {
+                &final_recv[nd]
+            };
             let off = arr.start_block as usize * msg;
             let len = arr.nblocks as usize * msg;
             let mut publish: Vec<OpId> = Vec::with_capacity(nseg as usize);
@@ -817,7 +896,7 @@ fn emit_hier(
                 let (src, dep): (Loc, Vec<OpId>) = if c == 0 {
                     (
                         Loc::new(ctx.recv[actor.index()], off),
-                        ctx.cur.deps_with(actor, &[gate]),
+                        ctx.cur.deps_with(actor, gate),
                     )
                 } else {
                     (

@@ -24,9 +24,11 @@ mod baselines;
 mod bcast;
 mod chunks;
 mod compose;
+mod config;
 mod ctx;
 pub mod flat;
 pub mod mha;
+mod tuned;
 pub mod tuning;
 pub mod twolevel;
 
@@ -37,5 +39,7 @@ pub use baselines::{mha_default_allgather, Library};
 pub use bcast::{build_binomial_bcast, build_mha_bcast, BcastBuilt};
 pub use chunks::{chunk_bounds, chunk_bounds_aligned, chunk_len};
 pub use compose::{build_composed, build_composed_degraded, ComposePlan, LevelAlgo};
+pub use config::{build, AlgoConfig, Family};
 pub use ctx::{BuildError, Built};
+pub use tuned::{msg_bucket, TableError, TableKey, TunedTable, TABLE_FORMAT_VERSION};
 pub use tuning::{build_tuned_mha, select_inter_algo, InterChoice, TuneError};

@@ -57,7 +57,8 @@ impl Default for MhaInterConfig {
     }
 }
 
-/// Builds the hierarchical MHA Allgather.
+/// Builds the hierarchical MHA Allgather. Thin wrapper over the unified
+/// [`crate::build`] dispatcher (schedules are bit-identical either way).
 ///
 /// # Errors
 ///
@@ -69,18 +70,7 @@ pub fn build_mha_inter(
     cfg: MhaInterConfig,
     spec: &ClusterSpec,
 ) -> Result<Built, BuildError> {
-    let d = resolve_offload(cfg.offload, spec, grid.ppn(), msg);
-    let name = format!(
-        "mha-inter-{}(d={d}{})",
-        match cfg.inter {
-            InterAlgo::Ring => "ring",
-            InterAlgo::RecursiveDoubling => "rd",
-        },
-        if cfg.overlap { "" } else { ",seq" }
-    );
-    let mut ctx = Ctx::new(grid, msg, name);
-    emit_mha_inter(&mut ctx, cfg, spec)?;
-    Ok(ctx.finish())
+    crate::config::build(&crate::config::AlgoConfig::mha_inter(cfg), grid, msg, spec)
 }
 
 /// Failure-aware variant of [`build_mha_inter`]: phase-2 leader exchanges

@@ -1,0 +1,528 @@
+//! The versioned tuning table: offline search results served by a pure
+//! hash probe.
+//!
+//! `mha-tune`'s offline search (successive halving over the
+//! [`crate::AlgoConfig`] design space) emits a [`TunedTable`] mapping
+//! `(nodes, ppn, msg_bucket, rails_up)` → the winning config, serialized
+//! to `results/tuned_thor.mtab`. Serving is Open MPI's tuned-module
+//! discipline: [`TunedTable::load`] once, then every [`TunedTable::lookup`]
+//! is one `HashMap` probe — no schedule build, no simulation, no search on
+//! the serving path. The returned [`AlgoConfig`] goes straight into the
+//! one [`crate::build`] dispatch call.
+//!
+//! ## The `.mtab` text format (version 1)
+//!
+//! ```text
+//! mha-tune-table v1
+//! spec <16-hex ClusterSpec digest>
+//! entries <N>
+//! <nodes> <ppn> <msg_bucket> <rails_up> family=… inter=… overlap=… offload=… chunk=… stripe=… down=…
+//! …                                  (N lines, sorted by key)
+//! digest <16-hex table digest>
+//! ```
+//!
+//! Versioning rules: the `v1` header names the *format*; readers reject
+//! any other version ([`TableError::UnsupportedVersion`]) rather than
+//! guess. The trailing digest is FNV-1a over the version, the spec
+//! digest, and every sorted `(key, config-digest)` pair — any corruption
+//! or hand-edit is a load-time [`TableError::DigestMismatch`], and the
+//! digest doubles as the table's identity in logs and CI. Entries sort by
+//! key so a table's text form is canonical: equal tables are byte-equal
+//! files.
+//!
+//! Off-grid queries never fail: lookup falls back to the
+//! nearest-neighbor entry in log-space (nodes and ppn compared by
+//! magnitude, message by bucket, a rail-state mismatch priced above any
+//! size distance) and coerces the found config with
+//! [`AlgoConfig::coerce_for`] so the result is always buildable on the
+//! queried grid — an empty table degrades to the paper's default design.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use mha_sched::{Fingerprinter, ProcGrid};
+
+use crate::config::AlgoConfig;
+
+/// The `.mtab` format version this crate reads and writes.
+pub const TABLE_FORMAT_VERSION: u32 = 1;
+
+/// One tuning-table key: the serving-time coordinates of a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableKey {
+    /// Node count.
+    pub nodes: u32,
+    /// Processes per node.
+    pub ppn: u32,
+    /// Power-of-two message bucket: [`msg_bucket`] of the per-rank
+    /// contribution.
+    pub msg_bucket: u8,
+    /// Rails currently up (fault-aware serving: a degraded fabric tunes
+    /// differently than a healthy one).
+    pub rails_up: u8,
+}
+
+impl TableKey {
+    /// The key a `(grid, msg, rails_up)` query probes.
+    pub fn for_query(grid: ProcGrid, msg: usize, rails_up: u8) -> Self {
+        TableKey {
+            nodes: grid.nodes(),
+            ppn: grid.ppn(),
+            msg_bucket: msg_bucket(msg),
+            rails_up,
+        }
+    }
+}
+
+/// The power-of-two bucket a message size falls in: `⌊log₂ msg⌋`, with 0
+/// and 1 byte sharing bucket 0. Tuning decisions are stable within a
+/// bucket (the Figure 8 crossovers are octave-scale), so the table stores
+/// one entry per bucket instead of one per byte count.
+pub fn msg_bucket(msg: usize) -> u8 {
+    msg.max(1).ilog2() as u8
+}
+
+/// Errors loading or parsing a tuning table.
+#[derive(Debug)]
+pub enum TableError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The text does not parse as a `.mtab` table.
+    Malformed(String),
+    /// The table was written by a different format version.
+    UnsupportedVersion(u32),
+    /// The trailing digest does not match the parsed content.
+    DigestMismatch {
+        /// Digest recorded in the file.
+        stored: u64,
+        /// Digest of what was actually parsed.
+        computed: u64,
+    },
+    /// An entry's config failed to parse.
+    Config(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Io(e) => write!(f, "io error: {e}"),
+            TableError::Malformed(m) => write!(f, "malformed table: {m}"),
+            TableError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "table format v{v} unsupported (this build reads v{TABLE_FORMAT_VERSION})"
+                )
+            }
+            TableError::DigestMismatch { stored, computed } => write!(
+                f,
+                "table digest mismatch: file says {stored:016x}, content hashes to {computed:016x}"
+            ),
+            TableError::Config(m) => write!(f, "bad entry config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+/// A loaded tuning table: `(nodes, ppn, msg_bucket, rails_up)` →
+/// [`AlgoConfig`], plus provenance (format version, the digest of the
+/// [`mha_simnet::ClusterSpec`] it was tuned against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedTable {
+    /// Format version this table was read from / will be written as.
+    pub version: u32,
+    /// [`mha_simnet::ClusterSpec::digest`] of the tuned-against cluster.
+    /// Serving against a different spec is legal (the configs still
+    /// build) but the caller can compare digests to detect it.
+    pub spec_digest: u64,
+    entries: HashMap<TableKey, AlgoConfig>,
+}
+
+impl TunedTable {
+    /// An empty table for the given cluster-spec digest.
+    pub fn new(spec_digest: u64) -> Self {
+        TunedTable {
+            version: TABLE_FORMAT_VERSION,
+            spec_digest,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, key: TableKey, cfg: AlgoConfig) {
+        self.entries.insert(key, cfg);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in canonical (key-sorted) order.
+    pub fn sorted_entries(&self) -> Vec<(TableKey, &AlgoConfig)> {
+        let mut v: Vec<(TableKey, &AlgoConfig)> =
+            self.entries.iter().map(|(k, c)| (*k, c)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// The exact entry for a key, if present — the pure-probe serving
+    /// path ([`TunedTable::lookup`] adds the off-grid fallback on top).
+    pub fn get(&self, key: &TableKey) -> Option<&AlgoConfig> {
+        self.entries.get(key)
+    }
+
+    /// The tuned config for `(grid, msg, rails_up)`.
+    ///
+    /// On-grid queries are one `HashMap` probe. Off-grid queries fall
+    /// back to the nearest stored key (log-space distance over nodes, ppn
+    /// and the message bucket; a `rails_up` mismatch outweighs any size
+    /// distance; ties break toward the smallest key so the fallback is
+    /// deterministic), and the result is coerced with
+    /// [`AlgoConfig::coerce_for`] so it is always valid for the queried
+    /// grid. An empty table serves the coerced default design. Never
+    /// panics, never builds a schedule.
+    pub fn lookup(&self, grid: ProcGrid, msg: usize, rails_up: u8) -> AlgoConfig {
+        let key = TableKey::for_query(grid, msg, rails_up);
+        let found = match self.entries.get(&key) {
+            Some(cfg) => cfg.clone(),
+            None => match self.nearest(&key) {
+                Some(cfg) => cfg.clone(),
+                None => AlgoConfig::default(),
+            },
+        };
+        found.coerce_for(grid)
+    }
+
+    /// Nearest stored entry to `key`, or `None` for an empty table.
+    fn nearest(&self, key: &TableKey) -> Option<&AlgoConfig> {
+        let log2 = |v: u32| v.max(1).ilog2() as i64;
+        let dist = |k: &TableKey| -> i64 {
+            let dn = (log2(k.nodes) - log2(key.nodes)).abs();
+            let dp = (log2(k.ppn) - log2(key.ppn)).abs();
+            let db = (i64::from(k.msg_bucket) - i64::from(key.msg_bucket)).abs();
+            let dr = i64::from(k.rails_up != key.rails_up);
+            8 * dn + 4 * dp + db + 16 * dr
+        };
+        self.entries
+            .iter()
+            .min_by_key(|(k, _)| (dist(k), **k))
+            .map(|(_, cfg)| cfg)
+    }
+
+    /// FNV-1a digest of the table's identity: version, spec digest, and
+    /// every sorted `(key, config-digest)` pair. This is the value the
+    /// trailing `digest` line stores and load verifies.
+    pub fn digest(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.push_u32(self.version).push_u64(self.spec_digest);
+        let sorted = self.sorted_entries();
+        fp.push_usize(sorted.len());
+        for (k, cfg) in sorted {
+            fp.push_u32(k.nodes)
+                .push_u32(k.ppn)
+                .push_u8(k.msg_bucket)
+                .push_u8(k.rails_up)
+                .push_u64(cfg.digest());
+        }
+        fp.finish().0
+    }
+
+    /// Serializes to the canonical `.mtab` text form (see the module
+    /// docs). Equal tables produce byte-equal text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "mha-tune-table v{}\nspec {:016x}\nentries {}\n",
+            self.version,
+            self.spec_digest,
+            self.entries.len()
+        );
+        for (k, cfg) in self.sorted_entries() {
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                k.nodes,
+                k.ppn,
+                k.msg_bucket,
+                k.rails_up,
+                cfg.to_kv()
+            ));
+        }
+        out.push_str(&format!("digest {:016x}\n", self.digest()));
+        out
+    }
+
+    /// Parses the [`TunedTable::to_text`] form, verifying the version and
+    /// the trailing digest.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Malformed`] / [`TableError::UnsupportedVersion`] /
+    /// [`TableError::DigestMismatch`] / [`TableError::Config`].
+    pub fn parse(text: &str) -> Result<Self, TableError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| TableError::Malformed("empty file".into()))?;
+        let version: u32 = header
+            .strip_prefix("mha-tune-table v")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| TableError::Malformed(format!("bad header {header:?}")))?;
+        if version != TABLE_FORMAT_VERSION {
+            return Err(TableError::UnsupportedVersion(version));
+        }
+        let spec_line = lines
+            .next()
+            .ok_or_else(|| TableError::Malformed("missing spec line".into()))?;
+        let spec_digest = spec_line
+            .strip_prefix("spec ")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| TableError::Malformed(format!("bad spec line {spec_line:?}")))?;
+        let count_line = lines
+            .next()
+            .ok_or_else(|| TableError::Malformed("missing entries line".into()))?;
+        let count: usize = count_line
+            .strip_prefix("entries ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| TableError::Malformed(format!("bad entries line {count_line:?}")))?;
+        let mut table = TunedTable {
+            version,
+            spec_digest,
+            entries: HashMap::with_capacity(count),
+        };
+        for i in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| TableError::Malformed(format!("missing entry {i}")))?;
+            let mut fields = line.splitn(5, ' ');
+            let mut num = |what: &str| -> Result<u32, TableError> {
+                fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| TableError::Malformed(format!("entry {i}: bad {what}")))
+            };
+            let nodes = num("nodes")?;
+            let ppn = num("ppn")?;
+            let bucket = num("msg_bucket")?;
+            let rails = num("rails_up")?;
+            let (Ok(msg_bucket), Ok(rails_up)) = (u8::try_from(bucket), u8::try_from(rails)) else {
+                return Err(TableError::Malformed(format!(
+                    "entry {i}: bucket/rails out of u8 range"
+                )));
+            };
+            let kv = fields
+                .next()
+                .ok_or_else(|| TableError::Malformed(format!("entry {i}: missing config")))?;
+            let cfg = AlgoConfig::parse_kv(kv)
+                .map_err(|e| TableError::Config(format!("entry {i}: {e}")))?;
+            let key = TableKey {
+                nodes,
+                ppn,
+                msg_bucket,
+                rails_up,
+            };
+            if table.entries.insert(key, cfg).is_some() {
+                return Err(TableError::Malformed(format!("duplicate key {key:?}")));
+            }
+        }
+        let digest_line = lines
+            .next()
+            .ok_or_else(|| TableError::Malformed("missing digest line".into()))?;
+        let stored = digest_line
+            .strip_prefix("digest ")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| TableError::Malformed(format!("bad digest line {digest_line:?}")))?;
+        if let Some(extra) = lines.next() {
+            if !extra.trim().is_empty() {
+                return Err(TableError::Malformed(format!(
+                    "trailing content after digest: {extra:?}"
+                )));
+            }
+        }
+        let computed = table.digest();
+        if stored != computed {
+            return Err(TableError::DigestMismatch { stored, computed });
+        }
+        Ok(table)
+    }
+
+    /// Writes the canonical text form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Io`] on write failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TableError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Reads and parses a table from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Io`] plus everything [`TunedTable::parse`] reports.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TableError> {
+        TunedTable::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Family;
+    use crate::mha::{InterAlgo, Offload};
+    use mha_simnet::ClusterSpec;
+
+    fn sample_table() -> TunedTable {
+        let spec = ClusterSpec::thor();
+        let mut t = TunedTable::new(spec.digest());
+        t.insert(
+            TableKey {
+                nodes: 8,
+                ppn: 32,
+                msg_bucket: 8,
+                rails_up: 2,
+            },
+            AlgoConfig {
+                inter: InterAlgo::RecursiveDoubling,
+                ..AlgoConfig::default()
+            },
+        );
+        t.insert(
+            TableKey {
+                nodes: 8,
+                ppn: 32,
+                msg_bucket: 18,
+                rails_up: 2,
+            },
+            AlgoConfig::default(),
+        );
+        t.insert(
+            TableKey {
+                nodes: 16,
+                ppn: 32,
+                msg_bucket: 12,
+                rails_up: 1,
+            },
+            AlgoConfig {
+                chunk: Some(8),
+                down_rails: vec![0],
+                ..AlgoConfig::default()
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn text_round_trips_bit_exact() {
+        let t = sample_table();
+        let text = t.to_text();
+        let back = TunedTable::parse(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(t.digest(), back.digest());
+        assert_eq!(text, back.to_text(), "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn exact_hits_serve_the_stored_config() {
+        let t = sample_table();
+        let cfg = t.lookup(ProcGrid::new(8, 32), 300, 2); // bucket 8
+        assert_eq!(cfg.inter, InterAlgo::RecursiveDoubling);
+        let cfg = t.lookup(ProcGrid::new(8, 32), 256 * 1024, 2); // bucket 18
+        assert_eq!(cfg.inter, InterAlgo::Ring);
+    }
+
+    #[test]
+    fn off_grid_queries_fall_back_to_nearest_and_stay_valid() {
+        let t = sample_table();
+        // 7 nodes is off-grid and non-power-of-two: whatever entry wins,
+        // the served config must be buildable there.
+        let grid = ProcGrid::new(7, 16);
+        let cfg = t.lookup(grid, 100, 2);
+        assert!(cfg.valid_for(grid), "{cfg:?}");
+        // A rails_up=1 query prefers the rails_up=1 entry over closer
+        // same-size healthy entries.
+        let cfg = t.lookup(ProcGrid::new(16, 32), 4096, 1);
+        assert_eq!(cfg.chunk, Some(8));
+    }
+
+    #[test]
+    fn empty_table_serves_the_coerced_default() {
+        let t = TunedTable::new(0);
+        let grid = ProcGrid::new(3, 5);
+        let cfg = t.lookup(grid, 1024, 2);
+        assert_eq!(cfg.family, Family::MhaInter);
+        assert!(cfg.valid_for(grid));
+        // Single node coerces off MhaInter's multi-node default cleanly.
+        let single = ProcGrid::single_node(6);
+        assert!(t.lookup(single, 64, 2).valid_for(single));
+    }
+
+    #[test]
+    fn msg_bucket_is_log2_with_zero_floor() {
+        assert_eq!(msg_bucket(0), 0);
+        assert_eq!(msg_bucket(1), 0);
+        assert_eq!(msg_bucket(2), 1);
+        assert_eq!(msg_bucket(255), 7);
+        assert_eq!(msg_bucket(256), 8);
+        assert_eq!(msg_bucket(1 << 20), 20);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version_and_corruption() {
+        let t = sample_table();
+        let text = t.to_text();
+        // Wrong version.
+        let v2 = text.replace("mha-tune-table v1", "mha-tune-table v2");
+        assert!(matches!(
+            TunedTable::parse(&v2),
+            Err(TableError::UnsupportedVersion(2))
+        ));
+        // Flipping an entry without updating the digest is caught.
+        let tampered = text.replace("inter=rd", "inter=ring");
+        assert!(matches!(
+            TunedTable::parse(&tampered),
+            Err(TableError::DigestMismatch { .. })
+        ));
+        // Truncation is caught.
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            TunedTable::parse(&truncated),
+            Err(TableError::Malformed(_))
+        ));
+        assert!(matches!(
+            TunedTable::parse(""),
+            Err(TableError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn offload_fixed_entries_round_trip() {
+        let mut t = TunedTable::new(1);
+        t.insert(
+            TableKey {
+                nodes: 2,
+                ppn: 4,
+                msg_bucket: 5,
+                rails_up: 2,
+            },
+            AlgoConfig {
+                offload: Offload::Fixed(3),
+                stripe_threshold: Some(4096),
+                ..AlgoConfig::default()
+            },
+        );
+        let back = TunedTable::parse(&t.to_text()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -6,12 +6,19 @@
 //! variants on the simulator and keeping the winner; combined with the
 //! Figure 5 offload tuner ([`crate::mha::tune_offload`]) this is the full
 //! autotuning story of the paper.
+//!
+//! This is the *online* two-candidate selector. The offline search over
+//! the whole design space — every [`crate::AlgoConfig`] knob, pruned by
+//! successive halving and served from a versioned table — lives in the
+//! `mha-tune` crate on top of [`crate::TunedTable`]. Both price candidates
+//! through the same [`crate::build`] dispatcher.
 
 use mha_sched::ProcGrid;
 use mha_simnet::{ClusterSpec, SimError, Simulator};
 
+use crate::config::{build, AlgoConfig};
 use crate::ctx::{BuildError, Built};
-use crate::mha::{build_mha_inter, InterAlgo, MhaInterConfig, Offload};
+use crate::mha::{InterAlgo, Offload};
 
 /// The outcome of one Ring-vs-RD tuning decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,12 +74,12 @@ pub fn select_inter_algo(
     spec: &ClusterSpec,
 ) -> Result<InterChoice, TuneError> {
     let sim = Simulator::new(spec.clone())?;
-    let ring_cfg = MhaInterConfig {
+    let ring_cfg = AlgoConfig {
         inter: InterAlgo::Ring,
         offload,
-        overlap: true,
+        ..AlgoConfig::default()
     };
-    let ring = build_mha_inter(grid, msg, ring_cfg, spec)?;
+    let ring = build(&ring_cfg, grid, msg, spec)?;
     let ring_us = sim.run(&ring.sched)?.latency_us();
     if !grid.nodes().is_power_of_two() {
         return Ok(InterChoice {
@@ -81,12 +88,12 @@ pub fn select_inter_algo(
             rd_us: None,
         });
     }
-    let rd_cfg = MhaInterConfig {
+    let rd_cfg = AlgoConfig {
         inter: InterAlgo::RecursiveDoubling,
         offload,
-        overlap: true,
+        ..AlgoConfig::default()
     };
-    let rd = build_mha_inter(grid, msg, rd_cfg, spec)?;
+    let rd = build(&rd_cfg, grid, msg, spec)?;
     let rd_us = sim.run(&rd.sched)?.latency_us();
     let algo = if rd_us < ring_us {
         InterAlgo::RecursiveDoubling
@@ -108,12 +115,11 @@ pub fn build_tuned_mha(
     spec: &ClusterSpec,
 ) -> Result<(Built, InterChoice), TuneError> {
     let choice = select_inter_algo(grid, msg, Offload::Auto, spec)?;
-    let cfg = MhaInterConfig {
+    let cfg = AlgoConfig {
         inter: choice.algo,
-        offload: Offload::Auto,
-        overlap: true,
+        ..AlgoConfig::default()
     };
-    let built = build_mha_inter(grid, msg, cfg, spec)?;
+    let built = build(&cfg, grid, msg, spec)?;
     Ok((built, choice))
 }
 

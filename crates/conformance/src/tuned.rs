@@ -1,0 +1,216 @@
+//! Tuned-choice oracle: every config a [`TunedTable`] can serve is a
+//! *correct* Allgather.
+//!
+//! The autotuner (`mha-tune`) only prices candidates it already built, so
+//! on-grid entries are trivially buildable — the risk is the serving
+//! path's off-grid behavior: nearest-neighbor fallback plus
+//! [`AlgoConfig::coerce_for`] on grids the search never saw. This oracle
+//! hammers `lookup` with seeded random queries (including off-grid,
+//! non-power-of-two and single-node shapes) and asserts the served config
+//! (a) is valid for the queried grid, (b) dispatches through
+//! [`mha_collectives::build`], and (c) produces a schedule whose writes
+//! exactly tile every receive buffer ([`check_allgather_coverage`]) —
+//! i.e. a mistuned table can be slow, but it can never be wrong.
+
+use mha_collectives::{build, AlgoConfig, TableKey, TunedTable};
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::coverage::check_allgather_coverage;
+
+/// Tuned-choice oracle knobs.
+#[derive(Debug, Clone)]
+pub struct TunedOracleConfig {
+    /// Number of random queries to draw (`MHA_CONFORMANCE_CASES`).
+    pub cases: usize,
+    /// RNG seed (`MHA_CONFORMANCE_SEED`); the run is deterministic given
+    /// the seed and the table.
+    pub seed: u64,
+}
+
+impl Default for TunedOracleConfig {
+    fn default() -> Self {
+        TunedOracleConfig {
+            cases: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl TunedOracleConfig {
+    /// The default configuration with `MHA_CONFORMANCE_CASES` and
+    /// `MHA_CONFORMANCE_SEED` applied on top.
+    pub fn from_env() -> Self {
+        let mut cfg = TunedOracleConfig::default();
+        if let Ok(v) = std::env::var("MHA_CONFORMANCE_CASES") {
+            if let Ok(v) = v.parse() {
+                cfg.cases = v;
+            }
+        }
+        if let Ok(v) = std::env::var("MHA_CONFORMANCE_SEED") {
+            if let Ok(v) = v.parse() {
+                cfg.seed = v;
+            }
+        }
+        cfg
+    }
+}
+
+/// The outcome of a tuned-choice sweep.
+#[derive(Debug)]
+pub struct TunedOracleReport {
+    /// Queries checked.
+    pub cases: usize,
+    /// Queries answered by an exact table probe.
+    pub exact_hits: usize,
+    /// Queries answered through the nearest-neighbor fallback (or the
+    /// empty-table default).
+    pub fallbacks: usize,
+    /// Human-readable description of every failure (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl TunedOracleReport {
+    /// Whether the sweep found no failure.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One random roaming query: grids are capped at 128 ranks so each case
+/// builds quickly, and shapes deliberately include off-tuned-grid node
+/// counts (non-power-of-two, single node, ppn 1).
+fn sample_roaming(rng: &mut StdRng) -> (ProcGrid, usize, u8) {
+    let nodes = rng.gen_range(1..=16u32);
+    let max_ppn = (128 / nodes).max(1);
+    let ppn = rng.gen_range(1..=max_ppn.min(32));
+    let msg = 1usize << rng.gen_range(0..=20u32);
+    let msg = msg + rng.gen_range(0..=msg / 2);
+    let rails_up = rng.gen_range(0..=3u8);
+    (ProcGrid::new(nodes, ppn), msg, rails_up)
+}
+
+/// A query aimed at a stored key (message drawn inside the key's bucket),
+/// so the exact-probe serving regime is exercised too. Keys are limited
+/// to ≤ 256-rank grids to keep per-case build cost small.
+fn sample_on_key(rng: &mut StdRng, keys: &[TableKey]) -> Option<(ProcGrid, usize, u8)> {
+    if keys.is_empty() {
+        return None;
+    }
+    let k = keys[rng.gen_range(0..keys.len())];
+    let lo = 1usize << k.msg_bucket;
+    let msg = lo + rng.gen_range(0..lo);
+    Some((ProcGrid::new(k.nodes, k.ppn), msg, k.rails_up))
+}
+
+/// Runs the tuned-choice oracle: `cfg.cases` seeded random queries
+/// against `table`, each served config checked for grid validity, a
+/// successful dispatch, and exact receive-buffer coverage.
+pub fn run_tuned_oracle(
+    table: &TunedTable,
+    spec: &ClusterSpec,
+    cfg: &TunedOracleConfig,
+) -> TunedOracleReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let small_keys: Vec<TableKey> = table
+        .sorted_entries()
+        .into_iter()
+        .map(|(k, _)| k)
+        .filter(|k| k.nodes * k.ppn <= 256)
+        .collect();
+    let mut report = TunedOracleReport {
+        cases: cfg.cases,
+        exact_hits: 0,
+        fallbacks: 0,
+        failures: Vec::new(),
+    };
+    for case in 0..cfg.cases {
+        // Every fourth case aims at a stored key (exact-probe regime);
+        // the rest roam the shape space (fallback + coercion regime).
+        let (grid, msg, rails_up) = if case % 4 == 0 {
+            sample_on_key(&mut rng, &small_keys).unwrap_or_else(|| sample_roaming(&mut rng))
+        } else {
+            sample_roaming(&mut rng)
+        };
+        if table
+            .get(&TableKey::for_query(grid, msg, rails_up))
+            .is_some()
+        {
+            report.exact_hits += 1;
+        } else {
+            report.fallbacks += 1;
+        }
+        let served = table.lookup(grid, msg, rails_up);
+        if let Err(e) = check_served(&served, grid, msg, spec) {
+            report.failures.push(format!(
+                "case {case} ({}x{} msg={msg} rails_up={rails_up}): {e} [served {}]",
+                grid.nodes(),
+                grid.ppn(),
+                served.to_kv()
+            ));
+        }
+    }
+    report
+}
+
+fn check_served(
+    served: &AlgoConfig,
+    grid: ProcGrid,
+    msg: usize,
+    spec: &ClusterSpec,
+) -> Result<(), String> {
+    if !served.valid_for(grid) {
+        return Err("served config invalid for queried grid".into());
+    }
+    let built = build(served, grid, msg, &served.effective_spec(spec))
+        .map_err(|e| format!("dispatch failed: {e}"))?;
+    check_allgather_coverage(&built).map_err(|e| format!("coverage: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_serves_correct_defaults_everywhere() {
+        let table = TunedTable::new(0);
+        let spec = ClusterSpec::thor();
+        let cfg = TunedOracleConfig {
+            cases: 40,
+            seed: 11,
+        };
+        let report = run_tuned_oracle(&table, &spec, &cfg);
+        assert_eq!(report.fallbacks, 40);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn adversarial_entries_are_coerced_into_correct_serves() {
+        // Store configs that are invalid on most grids; the serving path
+        // must coerce them rather than hand out something unbuildable.
+        let mut table = TunedTable::new(0);
+        table.insert(
+            TableKey {
+                nodes: 8,
+                ppn: 32,
+                msg_bucket: 10,
+                rails_up: 2,
+            },
+            AlgoConfig {
+                inter: mha_collectives::mha::InterAlgo::RecursiveDoubling,
+                chunk: Some(1 << 20),
+                down_rails: vec![0, 1, 2, 3],
+                ..AlgoConfig::default()
+            },
+        );
+        let spec = ClusterSpec::thor();
+        let cfg = TunedOracleConfig {
+            cases: 60,
+            seed: 23,
+        };
+        let report = run_tuned_oracle(&table, &spec, &cfg);
+        assert!(report.is_clean(), "{:?}", report.failures);
+        assert!(report.fallbacks > 0);
+    }
+}

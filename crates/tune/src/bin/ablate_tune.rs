@@ -1,0 +1,90 @@
+//! Ablation: tuned serving vs every untuned family on the Figure 12–14
+//! grids — the acceptance sweep of the `mha-tune` pipeline.
+//!
+//! Loads the shipped tuning table (`results/tuned_thor.mtab`, or
+//! `MHA_TUNED_TABLE`), serves each `(grid, msg)` point with a **pure
+//! table probe** (no search, no build on the serving path), prices the
+//! served config next to every untuned family, and hard-asserts
+//! `tuned ≤ untuned` at every point. Emits `results/ablate_tune.csv`.
+
+use mha_apps::report::{fmt_bytes, Table};
+use mha_bench::campaign::{CampaignConfig, ScheduleCache};
+use mha_tune::search::price_configs;
+use mha_tune::{fig_grids, untuned_families, TunedTable};
+
+fn main() {
+    mha_bench::apply_check_flag();
+    let path = mha_tune::default_table_path();
+    let table = match TunedTable::load(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: cannot load tuning table {} ({e}); run `cargo run --release -p mha-tune --bin mha_tune` first",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "[serving {} entries from {} (digest {:016x})]",
+        table.len(),
+        path.display(),
+        table.digest()
+    );
+
+    let spec = mha_simnet::ClusterSpec::thor();
+    let cfg = CampaignConfig::from_env();
+    let cache = ScheduleCache::new(cfg.cache);
+    let mut sizes = mha_bench::medium_sizes();
+    sizes.extend(mha_bench::large_sizes());
+
+    let untuned = untuned_families();
+    let mut columns: Vec<String> = untuned.iter().map(|(l, _)| (*l).to_string()).collect();
+    columns.push("MHA-tuned".into());
+    columns.push("gain_pct".into());
+    let mut t = Table::new(
+        "Ablation: tuned table serving vs untuned families, Figures 12-14 grids",
+        "point",
+        columns,
+    );
+
+    let mut violations = 0usize;
+    for grid in fig_grids() {
+        for &msg in &sizes {
+            // Pure probe on the serving path: lookup, then one dispatch.
+            let served = table.lookup(grid, msg, spec.rails);
+            let mut configs: Vec<mha_collectives::AlgoConfig> =
+                untuned.iter().map(|(_, c)| c.clone()).collect();
+            configs.push(served);
+            let prices = price_configs(&configs, grid, msg, None, &spec, &cfg, &cache).unwrap();
+            let tuned_us = *prices.last().unwrap();
+            let best_untuned = prices[..prices.len() - 1]
+                .iter()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            for (i, (label, _)) in untuned.iter().enumerate() {
+                if tuned_us > prices[i] * (1.0 + 1e-9) {
+                    eprintln!(
+                        "VIOLATION {}x{} {}: tuned {tuned_us} > {label} {}",
+                        grid.nodes(),
+                        grid.ppn(),
+                        fmt_bytes(msg),
+                        prices[i]
+                    );
+                    violations += 1;
+                }
+            }
+            let mut row = prices.clone();
+            row.push((1.0 - tuned_us / best_untuned) * 100.0);
+            t.push(
+                format!("{}x{} {}", grid.nodes(), grid.ppn(), fmt_bytes(msg)),
+                row,
+            );
+        }
+    }
+    mha_bench::emit(&t, "ablate_tune");
+    assert_eq!(
+        violations, 0,
+        "{violations} serving points lost to an untuned family"
+    );
+    println!("[tuned <= untuned at every point]");
+}

@@ -1,0 +1,126 @@
+//! The searched design space: candidate [`AlgoConfig`]s per tuning point,
+//! and the untuned baseline families the tuned pick must beat.
+
+use mha_collectives::mha::{InterAlgo, Offload};
+use mha_collectives::{AlgoConfig, Family, Library};
+use mha_sched::ProcGrid;
+
+/// The untuned baseline families of Figures 12–14 — exactly the sweep
+/// columns a plain (no `--tuned`) figure run prices: the two library
+/// surrogates and the paper's MHA-inter design with each phase-2
+/// algorithm at its defaults. Every one of these joins rung 1 of the
+/// search, so the tuned winner can never lose to them.
+pub fn untuned_families() -> Vec<(&'static str, AlgoConfig)> {
+    vec![
+        ("HPC-X", AlgoConfig::flat(Family::Library(Library::HpcX))),
+        (
+            "MVAPICH2-X",
+            AlgoConfig::flat(Family::Library(Library::Mvapich2X)),
+        ),
+        ("mha-ring", AlgoConfig::default()),
+        (
+            "mha-rd",
+            AlgoConfig {
+                inter: InterAlgo::RecursiveDoubling,
+                ..AlgoConfig::default()
+            },
+        ),
+    ]
+}
+
+/// The full candidate set at one tuning point: both library surrogates
+/// plus the MHA-inter cross product over phase-2 algorithm, phase-3
+/// overlap, offload policy, exchange-pipeline chunk (`None` plus two
+/// fractions of the node block) and stripe-threshold override. MHA-inter
+/// candidates carry `down_rails` so a degraded point tunes
+/// degraded-aware builds; configs invalid for `grid` are filtered out.
+pub fn candidates(grid: ProcGrid, down_rails: &[u8]) -> Vec<AlgoConfig> {
+    let mut out = vec![
+        AlgoConfig::flat(Family::Library(Library::HpcX)),
+        AlgoConfig::flat(Family::Library(Library::Mvapich2X)),
+    ];
+    let ppn = grid.ppn();
+    let chunks = [None, Some((ppn / 4).max(1)), Some((ppn / 2).max(1))];
+    let stripes = [None, Some(4 * 1024), Some(64 * 1024)];
+    for inter in [InterAlgo::Ring, InterAlgo::RecursiveDoubling] {
+        for overlap in [true, false] {
+            for offload in [Offload::Auto, Offload::None] {
+                for chunk in chunks {
+                    for stripe_threshold in stripes {
+                        out.push(AlgoConfig {
+                            family: Family::MhaInter,
+                            inter,
+                            overlap,
+                            offload,
+                            chunk,
+                            stripe_threshold,
+                            down_rails: down_rails.to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.retain(|c| c.valid_for(grid));
+    dedup_by_digest(out)
+}
+
+/// Removes digest-duplicate configs, keeping first occurrences (the chunk
+/// fractions can collide at tiny ppn).
+pub(crate) fn dedup_by_digest(configs: Vec<AlgoConfig>) -> Vec<AlgoConfig> {
+    let mut seen = std::collections::HashSet::new();
+    configs
+        .into_iter()
+        .filter(|c| seen.insert(c.digest()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_covers_the_advertised_axes() {
+        let grid = ProcGrid::new(8, 32);
+        let cands = candidates(grid, &[]);
+        // 2 libraries + 2×2×2×3×3 MHA-inter points, all valid, no dups.
+        assert_eq!(cands.len(), 2 + 72);
+        assert!(cands.iter().all(|c| c.valid_for(grid)));
+        let mut digests: Vec<u64> = cands.iter().map(AlgoConfig::digest).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), cands.len());
+        // Degraded variants carry the down set on every MHA-inter config.
+        let degraded = candidates(grid, &[1]);
+        assert!(degraded
+            .iter()
+            .filter(|c| c.family == Family::MhaInter)
+            .all(|c| c.down_rails == [1]));
+    }
+
+    #[test]
+    fn non_power_of_two_nodes_drop_rd_candidates() {
+        let cands = candidates(ProcGrid::new(3, 8), &[]);
+        assert!(cands
+            .iter()
+            .all(|c| c.family != Family::MhaInter || c.inter == InterAlgo::Ring));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn untuned_families_are_the_figure_columns() {
+        let fams = untuned_families();
+        let labels: Vec<&str> = fams.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["HPC-X", "MVAPICH2-X", "mha-ring", "mha-rd"]);
+        // Every untuned family is also a member of the candidate space at
+        // a representative grid (the search would find it on its own).
+        let grid = ProcGrid::new(8, 32);
+        let space: std::collections::HashSet<u64> = candidates(grid, &[])
+            .iter()
+            .map(AlgoConfig::digest)
+            .collect();
+        for (label, cfg) in &fams {
+            assert!(space.contains(&cfg.digest()), "{label} not in the space");
+        }
+    }
+}

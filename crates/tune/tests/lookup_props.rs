@@ -1,0 +1,111 @@
+//! Property tests for the serving path: `TunedTable::lookup` is total —
+//! it never panics on off-grid queries, always returns a config valid for
+//! the queried grid, and that config actually dispatches through
+//! `mha_collectives::build` on small grids.
+
+use proptest::prelude::*;
+
+use mha_collectives::mha::{InterAlgo, Offload};
+use mha_sched::ProcGrid;
+use mha_tune::{build, AlgoConfig, Family, TableKey, TunedTable};
+
+/// A small but adversarial config space for stored entries: includes
+/// configs that are invalid for many grids (RD on non-power-of-two node
+/// counts, MultiLeader group counts that don't divide, fixed offload
+/// deeper than ppn) so coercion actually has work to do.
+fn arb_stored_config() -> BoxedStrategy<AlgoConfig> {
+    let family = prop_oneof![
+        Just(Family::MhaInter),
+        Just(Family::Ring),
+        Just(Family::RecursiveDoubling),
+        Just(Family::Bruck),
+        (2u32..6).prop_map(|g| Family::MultiLeader { groups: g }),
+    ]
+    .boxed();
+    let offload = prop_oneof![
+        Just(Offload::Auto),
+        Just(Offload::None),
+        (1u32..16).prop_map(Offload::Fixed),
+    ]
+    .boxed();
+    (
+        family,
+        prop_oneof![Just(InterAlgo::Ring), Just(InterAlgo::RecursiveDoubling)].boxed(),
+        prop_oneof![Just(true), Just(false)].boxed(),
+        offload,
+        prop_oneof![Just(None), (1u32..64).prop_map(Some)].boxed(),
+        prop_oneof![Just(None), (1usize..1 << 20).prop_map(Some)].boxed(),
+        proptest::collection::vec(0u8..4, 0..3),
+    )
+        .prop_map(
+            |(family, inter, overlap, offload, chunk, stripe_threshold, down_rails)| AlgoConfig {
+                family,
+                inter,
+                overlap,
+                offload,
+                chunk,
+                stripe_threshold,
+                down_rails,
+            },
+        )
+        .boxed()
+}
+
+fn arb_key() -> BoxedStrategy<TableKey> {
+    (1u32..64, 1u32..64, 0u8..24, 1u8..4)
+        .prop_map(|(nodes, ppn, msg_bucket, rails_up)| TableKey {
+            nodes,
+            ppn,
+            msg_bucket,
+            rails_up,
+        })
+        .boxed()
+}
+
+proptest! {
+    /// Lookup is total and grid-valid for arbitrary tables and arbitrary
+    /// (including wildly off-grid) queries.
+    #[test]
+    fn lookup_never_panics_and_result_is_grid_valid(
+        entries in proptest::collection::vec((arb_key(), arb_stored_config()), 0..8),
+        nodes in 1u32..96,
+        ppn in 1u32..96,
+        msg in 0usize..(1 << 22),
+        rails_up in 0u8..5,
+    ) {
+        let mut table = TunedTable::new(0xfeed);
+        for (k, cfg) in entries {
+            table.insert(k, cfg);
+        }
+        let grid = ProcGrid::new(nodes, ppn);
+        let served = table.lookup(grid, msg, rails_up);
+        prop_assert!(served.valid_for(grid), "served {served:?} invalid for {grid:?}");
+        // The nearest-neighbor fallback (or the empty-table default) must
+        // come back as a *grid-valid* config, which by construction also
+        // round-trips the kv form.
+        let kv = served.to_kv();
+        prop_assert_eq!(AlgoConfig::parse_kv(&kv).unwrap(), served);
+    }
+
+    /// Whatever lookup serves actually builds: one dispatch call on the
+    /// queried grid succeeds. Grids are capped small so the proptest stays
+    /// fast; validity (not scale) is what coercion has to get right.
+    #[test]
+    fn served_configs_always_dispatch(
+        entries in proptest::collection::vec((arb_key(), arb_stored_config()), 0..6),
+        nodes in 1u32..9,
+        ppn in 1u32..9,
+        msg in 1usize..8192,
+        rails_up in 1u8..3,
+    ) {
+        let mut table = TunedTable::new(0xfeed);
+        for (k, cfg) in entries {
+            table.insert(k, cfg);
+        }
+        let grid = ProcGrid::new(nodes, ppn);
+        let served = table.lookup(grid, msg, rails_up);
+        let spec = mha_simnet::ClusterSpec::thor();
+        let built = build(&served, grid, msg, &spec);
+        prop_assert!(built.is_ok(), "served {served:?} failed to build on {grid:?}: {built:?}");
+    }
+}

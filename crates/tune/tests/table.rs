@@ -1,0 +1,103 @@
+//! Golden round-trip of the tuning table: save → load → lookup is
+//! bit-exact, the canonical text form is a fixed point, and the digest of
+//! a deterministic table is pinned (any format or hashing drift fails
+//! loudly here before it can invalidate a shipped table).
+
+use mha_collectives::mha::{InterAlgo, Offload};
+use mha_sched::ProcGrid;
+use mha_tune::{AlgoConfig, TableKey, TunedTable};
+
+/// A fully deterministic table exercising every config field the `.mtab`
+/// payload serializes.
+fn golden_table() -> TunedTable {
+    let mut t = TunedTable::new(0x1234_5678_9abc_def0);
+    t.insert(
+        TableKey {
+            nodes: 8,
+            ppn: 32,
+            msg_bucket: 8,
+            rails_up: 2,
+        },
+        AlgoConfig {
+            inter: InterAlgo::RecursiveDoubling,
+            ..AlgoConfig::default()
+        },
+    );
+    t.insert(
+        TableKey {
+            nodes: 16,
+            ppn: 32,
+            msg_bucket: 18,
+            rails_up: 2,
+        },
+        AlgoConfig {
+            overlap: false,
+            offload: Offload::Fixed(4),
+            chunk: Some(8),
+            stripe_threshold: Some(65536),
+            ..AlgoConfig::default()
+        },
+    );
+    t.insert(
+        TableKey {
+            nodes: 32,
+            ppn: 32,
+            msg_bucket: 14,
+            rails_up: 1,
+        },
+        AlgoConfig {
+            down_rails: vec![1],
+            ..AlgoConfig::default()
+        },
+    );
+    t
+}
+
+#[test]
+fn save_load_lookup_is_bit_exact() {
+    let t = golden_table();
+    let dir = std::env::temp_dir().join("mha-tune-table-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("golden.mtab");
+    t.save(&path).unwrap();
+    let back = TunedTable::load(&path).unwrap();
+    assert_eq!(t, back);
+    assert_eq!(t.digest(), back.digest());
+    // Exact probes serve the stored configs unchanged.
+    for (key, cfg) in t.sorted_entries() {
+        assert_eq!(back.get(&key), Some(cfg));
+    }
+    // Lookup through the query path is bit-exact too (the stored configs
+    // are valid for their grids, so coercion is the identity).
+    let served = back.lookup(ProcGrid::new(8, 32), 300, 2);
+    assert_eq!(served.inter, InterAlgo::RecursiveDoubling);
+    // The canonical text form is a fixed point of parse∘serialize.
+    assert_eq!(t.to_text(), back.to_text());
+}
+
+#[test]
+fn golden_digest_is_pinned() {
+    // Pins the table identity end-to-end: key ordering, the config
+    // digest (every AlgoConfig field), and the table fingerprint chain.
+    // If this moves, every shipped .mtab is invalidated — bump the format
+    // version rather than silently re-hashing.
+    assert_eq!(golden_table().digest(), 0xa48f_1c34_fe75_7a43);
+}
+
+#[test]
+fn golden_text_round_trips_through_disk() {
+    let t = golden_table();
+    let text = t.to_text();
+    // Version header and sealed digest frame the payload.
+    assert!(text.starts_with("mha-tune-table v1\n"), "{text}");
+    assert!(
+        text.ends_with(&format!("digest {:016x}\n", t.digest())),
+        "{text}"
+    );
+    // Entries are key-sorted: equal tables are byte-equal files.
+    let mut t2 = TunedTable::new(0x1234_5678_9abc_def0);
+    for (k, cfg) in t.sorted_entries().into_iter().rev() {
+        t2.insert(k, cfg.clone());
+    }
+    assert_eq!(text, t2.to_text(), "insertion order must not leak");
+}

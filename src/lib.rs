@@ -20,3 +20,4 @@ pub use mha_exec as exec;
 pub use mha_model as model;
 pub use mha_sched as sched;
 pub use mha_simnet as simnet;
+pub use mha_tune as tune;
