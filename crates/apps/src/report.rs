@@ -173,8 +173,8 @@ pub fn render_run_summary(s: &RunSummary) -> String {
     if s.waterfill_recomputes > 0 || s.rate_changes > 0 {
         let _ = writeln!(
             out,
-            "   waterfill recomputes {} | flow-rate changes {}",
-            s.waterfill_recomputes, s.rate_changes
+            "   waterfill recomputes {} (levels touched {}) | flow-rate changes {}",
+            s.waterfill_recomputes, s.waterfill_touched, s.rate_changes
         );
     }
     out
@@ -263,6 +263,7 @@ mod tests {
                 util("mem(n0)", 0.1),
             ],
             waterfill_recomputes: 7,
+            waterfill_touched: 21,
             rate_changes: 9,
         };
         let txt = render_run_summary(&s);
@@ -272,6 +273,9 @@ mod tests {
         assert!(txt.contains("rx(n0,h1)"), "{txt}"); // busiest rail named
         assert!(txt.contains("memory"), "{txt}");
         assert!(!txt.contains("xsocket"), "no xsocket resources: {txt}");
-        assert!(txt.contains("waterfill recomputes 7"), "{txt}");
+        assert!(
+            txt.contains("waterfill recomputes 7 (levels touched 21)"),
+            "{txt}"
+        );
     }
 }

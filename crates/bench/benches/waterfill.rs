@@ -2,7 +2,7 @@
 //! recomputation as component size grows (the per-event hot path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mha_simnet::{FlowSpec, ResourceId, WaterFiller};
+use mha_simnet::{FlowSpec, IncrementalFiller, ResourceId, WaterFiller};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,7 +33,7 @@ fn bench_waterfill(c: &mut Criterion) {
             let mut filler = WaterFiller::new();
             let mut rates = Vec::new();
             b.iter(|| {
-                filler.fill(specs, |r| caps[r.index()], &mut rates);
+                filler.fill(specs, |r| caps[r.index()], &mut rates).unwrap();
                 std::hint::black_box(rates.len())
             })
         });
@@ -83,7 +83,9 @@ fn bench_component_recompute(c: &mut Criterion) {
                     .map(|(s, &cap)| FlowSpec { cap, resources: s })
                     .collect();
                 i += 1;
-                filler.fill(&specs, |r| caps[r.index()], &mut rates);
+                filler
+                    .fill(&specs, |r| caps[r.index()], &mut rates)
+                    .unwrap();
                 std::hint::black_box(rates.len())
             })
         });
@@ -91,5 +93,61 @@ fn bench_component_recompute(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_waterfill, bench_component_recompute);
+/// Incremental replay vs from-scratch solving on the engine's dominant
+/// workload: the *same* small component recomputed over and over (a ring
+/// step re-creates one contention pattern thousands of times). Scratch
+/// mode re-runs progressive filling; the memoized path is a hash probe
+/// plus a copy.
+fn bench_incremental_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waterfill_incremental");
+    let mut rng = StdRng::seed_from_u64(11);
+    for comp in [4usize, 16] {
+        let nres = comp.max(4);
+        let caps: Vec<f64> = (0..nres).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let sets: Vec<Vec<(ResourceId, f64)>> = (0..comp)
+            .map(|_| {
+                let k = rng.gen_range(1..=3usize);
+                let mut v: Vec<u32> = (0..k).map(|_| rng.gen_range(0..nres as u32)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.into_iter()
+                    .map(|r| (ResourceId(r), rng.gen_range(1.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        let flow_caps: Vec<f64> = (0..comp).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let specs: Vec<FlowSpec> = sets
+            .iter()
+            .zip(&flow_caps)
+            .map(|(s, &cap)| FlowSpec { cap, resources: s })
+            .collect();
+        for (mode, memo) in [("replay", true), ("scratch", false)] {
+            g.bench_with_input(BenchmarkId::new(mode, comp), &specs, |b, specs| {
+                let mut filler = IncrementalFiller::new();
+                filler.reset(nres);
+                let mut rates = Vec::new();
+                b.iter(|| {
+                    filler
+                        .fill_view(
+                            specs.len(),
+                            |i| specs[i],
+                            |r| caps[r.index()],
+                            &mut rates,
+                            memo,
+                        )
+                        .unwrap();
+                    std::hint::black_box(rates.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_waterfill,
+    bench_component_recompute,
+    bench_incremental_replay
+);
 criterion_main!(benches);

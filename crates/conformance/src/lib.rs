@@ -36,6 +36,7 @@ pub mod faults;
 pub mod fuzz;
 pub mod oracle;
 pub mod tuned;
+pub mod waterfill;
 
 pub use cases::{sample_case, Case, Family};
 pub use coverage::check_allgather_coverage;
@@ -50,3 +51,4 @@ pub use faults::{
 pub use fuzz::{judge, seeded_mutants, shrink, FuzzTarget, Mutation, SchedSpec, Verdict};
 pub use oracle::{check_model_envelope, run_oracle, OracleConfig, OracleReport};
 pub use tuned::{run_tuned_oracle, TunedOracleConfig, TunedOracleReport};
+pub use waterfill::{run_waterfill_oracle, WaterfillOracleConfig, WaterfillOracleReport};

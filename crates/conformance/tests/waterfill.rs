@@ -1,0 +1,24 @@
+//! The waterfill-equivalence acceptance bar: ≥ 100 random schedules —
+//! a third of them under random rail-fault timelines — simulated by both
+//! the incremental and the scratch engine with zero bitwise divergence.
+
+use mha_conformance::{run_waterfill_oracle, WaterfillOracleConfig};
+
+#[test]
+fn incremental_engine_matches_scratch_on_random_schedules() {
+    let cfg = WaterfillOracleConfig::from_env();
+    assert!(cfg.cases >= 100, "acceptance bar requires >= 100 cases");
+    let report = run_waterfill_oracle(&cfg);
+    assert_eq!(report.cases, cfg.cases, "every sampled case must build");
+    assert!(
+        report.faulted >= cfg.cases / 4,
+        "too few faulted cases: {}",
+        report.faulted
+    );
+    assert!(
+        report.is_clean(),
+        "{} divergence(s):\n{}",
+        report.disagreements.len(),
+        report.disagreements.join("\n")
+    );
+}

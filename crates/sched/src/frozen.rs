@@ -95,6 +95,9 @@ pub struct FrozenSchedule {
     roots: Vec<u32>,
     topo: Vec<u32>,
     rows: Vec<OpRow>,
+    /// Rail count this schedule last validated cleanly against (see
+    /// [`FrozenSchedule::validate_for`]).
+    validated: std::sync::OnceLock<Option<u8>>,
 }
 
 fn row_of(kind: &OpKind, step: u32) -> OpRow {
@@ -180,6 +183,7 @@ impl Schedule {
             roots,
             topo,
             rows,
+            validated: std::sync::OnceLock::new(),
         }
     }
 }
@@ -245,6 +249,21 @@ impl FrozenSchedule {
     #[inline]
     pub fn row(&self, op: u32) -> &OpRow {
         &self.rows[op as usize]
+    }
+
+    /// [`crate::validate`] with a success memo: an immutable frozen
+    /// schedule that validated cleanly for `rails` once stays valid, so
+    /// repeated runs (the simulation campaign hot path, thousands of runs
+    /// of one schedule) skip the O(ops) structural walk. Failures are
+    /// never memoized, and a later call with a *different* rail count
+    /// re-validates in full.
+    pub fn validate_for(&self, rails: Option<u8>) -> Result<(), crate::ValidateError> {
+        if self.validated.get() == Some(&rails) {
+            return Ok(());
+        }
+        crate::validate(self, rails)?;
+        let _ = self.validated.set(rails);
+        Ok(())
     }
 
     /// The underlying schedule (also reachable through `Deref`).

@@ -109,9 +109,12 @@ pub trait Probe {
     }
 
     /// The max-min water-filler recomputed a connected component of
-    /// `flows` flows.
-    fn waterfill(&mut self, t: f64, flows: usize) {
-        let _ = (t, flows);
+    /// `flows` flows; `touched` of the component's resources had their
+    /// bottleneck saturation level actually move. A truly incremental
+    /// update reports `touched` well below the component's resource count
+    /// — this is the observable distinguishing it from a full recompute.
+    fn waterfill(&mut self, t: f64, flows: usize, touched: usize) {
+        let _ = (t, flows, touched);
     }
 
     /// End-of-run total for one resource: `bytes` moved through a resource
@@ -345,9 +348,9 @@ impl<W: Write> Probe for JsonlProbe<W> {
         ));
     }
 
-    fn waterfill(&mut self, t: f64, flows: usize) {
+    fn waterfill(&mut self, t: f64, flows: usize, touched: usize) {
         self.line(format!(
-            "{{\"ev\":\"waterfill\",\"t\":{t:e},\"flows\":{flows}}}"
+            "{{\"ev\":\"waterfill\",\"t\":{t:e},\"flows\":{flows},\"touched\":{touched}}}"
         ));
     }
 
@@ -402,6 +405,9 @@ pub struct RunSummary {
     pub resources: Vec<ResourceUtil>,
     /// Water-filling component recomputations performed.
     pub waterfill_recomputes: u64,
+    /// Resources whose bottleneck saturation level moved, summed over all
+    /// recomputations — the incremental allocator's actual work.
+    pub waterfill_touched: u64,
     /// Flow rate (re)assignments performed.
     pub rate_changes: u64,
 }
@@ -431,6 +437,7 @@ pub struct SummaryProbe {
     cpu_spans: Vec<(f64, f64)>,
     resources: Vec<ResourceUtil>,
     waterfill_recomputes: u64,
+    waterfill_touched: u64,
     rate_changes: u64,
     makespan: f64,
 }
@@ -458,6 +465,7 @@ impl SummaryProbe {
             net_cpu_overlap: intersection_length(&self.net_spans, &self.cpu_spans),
             resources: self.resources,
             waterfill_recomputes: self.waterfill_recomputes,
+            waterfill_touched: self.waterfill_touched,
             rate_changes: self.rate_changes,
         }
     }
@@ -493,8 +501,9 @@ impl Probe for SummaryProbe {
         self.rate_changes += 1;
     }
 
-    fn waterfill(&mut self, _t: f64, _flows: usize) {
+    fn waterfill(&mut self, _t: f64, _flows: usize, touched: usize) {
         self.waterfill_recomputes += 1;
+        self.waterfill_touched += touched as u64;
     }
 
     fn resource_sample(&mut self, label: &str, bytes: f64, capacity: f64) {
@@ -568,9 +577,9 @@ impl<A: Probe + ?Sized, B: Probe + ?Sized> Probe for Tee<'_, A, B> {
         self.0.flow_resources(op, flow, resources, t);
         self.1.flow_resources(op, flow, resources, t);
     }
-    fn waterfill(&mut self, t: f64, flows: usize) {
-        self.0.waterfill(t, flows);
-        self.1.waterfill(t, flows);
+    fn waterfill(&mut self, t: f64, flows: usize, touched: usize) {
+        self.0.waterfill(t, flows, touched);
+        self.1.waterfill(t, flows, touched);
     }
     fn resource_sample(&mut self, label: &str, bytes: f64, capacity: f64) {
         self.0.resource_sample(label, bytes, capacity);
@@ -636,7 +645,7 @@ mod tests {
         p.op_start(1, 1.0);
         p.op_end(1, 3.0); // cpu busy [1,3)
         p.flow_rate(0, 0, 1e9, 0.0);
-        p.waterfill(0.0, 1);
+        p.waterfill(0.0, 1, 2);
         p.resource_sample("tx(n0,h0)", 64.0, 32.0);
         p.end_run(3.0);
         let s = p.finish();
@@ -650,6 +659,7 @@ mod tests {
         assert!((s.overlap_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(s.rate_changes, 1);
         assert_eq!(s.waterfill_recomputes, 1);
+        assert_eq!(s.waterfill_touched, 2);
         assert_eq!(s.resources.len(), 1);
         // 64 bytes over capacity 32 B/s in 3 s -> 2/3 busy.
         assert!((s.resources[0].utilization - 2.0 / 3.0).abs() < 1e-12);
@@ -669,7 +679,7 @@ mod tests {
         p.op_ready(0, 0.0);
         p.op_start(0, 1e-6);
         p.flow_rate(0, 0, 2.5e10, 1e-6);
-        p.waterfill(1e-6, 1);
+        p.waterfill(1e-6, 1, 1);
         p.op_end(0, 2e-6);
         p.resource_sample("tx(n0,h0)", 64.0, 2.5e10);
         p.end_run(2e-6);
@@ -708,7 +718,7 @@ mod tests {
             tee.op_start(1, 1.0);
             tee.op_end(1, 2.0);
             tee.flow_rate(0, 0, 1.0, 0.0);
-            tee.waterfill(0.0, 2);
+            tee.waterfill(0.0, 2, 1);
             tee.resource_sample("cpu(r0)", 1.0, 1.0);
             tee.end_run(2.0);
         }

@@ -19,18 +19,16 @@
 //! totals. [`Simulator::run`] plugs in the no-op sink; `trace: true` plugs in
 //! the ASCII-timeline sink ([`crate::trace::TraceBuilder`]).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use mha_sched::{
     Channel, FrozenSchedule, NodeId, NullProbe, OpKind, Probe, ProcGrid, ReadySet, Schedule,
 };
 
+use crate::calendar::CalendarQueue;
 use crate::fault::{FaultEvent, FaultKind, FaultSpec};
 use crate::resources::{socket_of, ResourceId, ResourceMap};
 use crate::topology::ClusterSpec;
 use crate::trace::{Trace, TraceBuilder};
-use crate::waterfill::{FlowSpec, WaterFiller};
+use crate::waterfill::{FillError, FlowSpec, IncrementalFiller};
 
 /// A rail flow's routing coordinates `(src node, dst node, rail)` — what a
 /// retry needs to re-issue the flow on a surviving rail.
@@ -62,6 +60,15 @@ pub enum SimError {
         /// Available cores per node.
         cores: u32,
     },
+    /// An op expanded into a flow the water-filler rejected (non-finite or
+    /// non-positive cap/weight). Formerly a debug-only assertion that let
+    /// release builds silently corrupt every rate in the component.
+    InvalidFlow {
+        /// The op whose flow was rejected.
+        op: u32,
+        /// What the water-filler rejected.
+        source: FillError,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -72,11 +79,21 @@ impl std::fmt::Display for SimError {
             SimError::PpnExceedsCores { ppn, cores } => {
                 write!(f, "{ppn} processes per node exceed {cores} cores")
             }
+            SimError::InvalidFlow { op, source } => {
+                write!(f, "op {op} produced an invalid flow: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidFlow { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<mha_sched::ValidateError> for SimError {
     fn from(e: mha_sched::ValidateError) -> Self {
@@ -141,16 +158,75 @@ impl SimResult {
     }
 }
 
+/// A flow's `(resource, weight)` list, stored inline. Every flow kind the
+/// engine emits uses at most 3 entries (tx+rx rail pair, or
+/// cpu+mem+optional xsocket), so the list lives in the `Flow` record
+/// itself — the recompute hot loops walk flow resources three times per
+/// event, and a `Vec`'s heap indirection there is a guaranteed cache miss
+/// per flow.
+#[derive(Debug, Clone)]
+struct ResList {
+    arr: [(ResourceId, f64); 4],
+    len: u8,
+}
+
+impl ResList {
+    fn new() -> Self {
+        ResList {
+            arr: [(ResourceId(0), 0.0); 4],
+            len: 0,
+        }
+    }
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+    fn push(&mut self, e: (ResourceId, f64)) {
+        self.arr[self.len as usize] = e;
+        self.len += 1;
+    }
+    fn extend_from_slice(&mut self, s: &[(ResourceId, f64)]) {
+        self.arr[self.len as usize..self.len as usize + s.len()].copy_from_slice(s);
+        self.len += s.len() as u8;
+    }
+}
+
+impl std::ops::Deref for ResList {
+    type Target = [(ResourceId, f64)];
+    fn deref(&self) -> &Self::Target {
+        &self.arr[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a ResList {
+    type Item = &'a (ResourceId, f64);
+    type IntoIter = std::slice::Iter<'a, (ResourceId, f64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
 #[derive(Debug)]
 struct Flow {
     op: u32,
     /// `(resource, weight)` pairs: the flow consumes `weight · rate` of
     /// each resource while active.
-    resources: Vec<(ResourceId, f64)>,
+    resources: ResList,
     cap: f64,
     remaining: f64,
     rate: f64,
     last_update: f64,
+    /// Completion prediction computed at the last rate change
+    /// (`now + remaining / rate` at that instant). The incremental
+    /// scheduler reuses this stored value verbatim when re-queueing an
+    /// unchanged flow, so prediction times never drift from what the
+    /// push-per-change baseline would have queued.
+    t_fin: f64,
+    /// Sequence number reserved for the current prediction at the last
+    /// rate change — the seq the push-per-change baseline would have
+    /// stamped on its `Finish` event. The argmin scheduler queues under
+    /// this original `(t_fin, pred_seq)` key, so same-instant events pop
+    /// in exactly the baseline's order (bit-identity by construction).
+    pred_seq: u64,
     version: u64,
     alive: bool,
     /// Starved by a fault (rate 0 on a down rail); a Retry event is pending.
@@ -175,27 +251,31 @@ enum Ev {
     Retry { flow: u32, version: u64 },
 }
 
-#[derive(Debug, Clone, Copy)]
+/// A heap entry for the scratch-mode event queue: min-order on
+/// `(time, seq)`, exactly the pre-overhaul engine's ordering. The
+/// incremental engine uses the [`CalendarQueue`] instead; keeping the
+/// original `BinaryHeap` alive for scratch mode makes the
+/// incremental-vs-scratch equivalence oracle compare two *independent*
+/// queue mechanisms, and makes benchmark ratios against scratch mode an
+/// honest new-engine-vs-old-engine measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct HeapEv {
     time: f64,
     seq: u64,
     ev: Ev,
 }
 
-impl PartialEq for HeapEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
 impl Eq for HeapEv {}
+
 impl PartialOrd for HeapEv {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
+
 impl Ord for HeapEv {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed comparison: BinaryHeap is a max-heap, we want min-time.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
         other
             .time
             .total_cmp(&self.time)
@@ -206,6 +286,10 @@ impl Ord for HeapEv {
 /// Relative tolerance when deciding whether a flow's rate changed enough to
 /// reschedule its completion event.
 const RATE_EPS: f64 = 1e-12;
+
+/// The documented cap on retry exponential backoff: the wait multiplier
+/// saturates at `2^MAX_BACKOFF_SHIFT` × the retry timeout.
+const MAX_BACKOFF_SHIFT: u32 = 10;
 
 /// Mutable simulation state, boxed into one struct so helper methods can
 /// borrow it wholesale.
@@ -218,9 +302,28 @@ struct EngineState {
     res_stamp: Vec<u64>,
     flow_stamp: Vec<u64>,
     epoch: u64,
-    heap: BinaryHeap<HeapEv>,
+    /// Incremental-mode event queue (keyed cancellation, O(1) ops).
+    cal: CalendarQueue<Ev>,
+    /// Scratch-mode event queue: the pre-overhaul `BinaryHeap`, kept as
+    /// the faithful baseline. Exactly one of the two queues is in use per
+    /// run, chosen by [`EngineState::incremental`] at reset.
+    heap: std::collections::BinaryHeap<HeapEv>,
     seq: u64,
-    filler: WaterFiller,
+    /// Pending `Finish` prediction per flow slot, as its `(time, seq)`
+    /// calendar key (`seq == 0` = none; live seqs start at 1). Lets a
+    /// rescheduling recompute *delete* the superseded event instead of
+    /// leaving it to pop as a stale no-op — the dominant cost of the old
+    /// engine (>90% of pops on contended rings were stale).
+    finish_ev: Vec<(f64, u64)>,
+    /// Pending `Retry` per flow slot, same convention. A live flow holds at
+    /// most one of the two: running ⇒ one `Finish`, stalled ⇒ one `Retry`.
+    retry_ev: Vec<(f64, u64)>,
+    /// Resolved [`incremental_enabled`] for this run: gates both keyed
+    /// event cancellation and the memo cache. Off = the faithful
+    /// recompute-from-scratch baseline (stale events pop and are
+    /// version-checked away, every component is re-solved).
+    incremental: bool,
+    filler: IncrementalFiller,
     rates: Vec<f64>,
     active_flows: usize,
     max_active: usize,
@@ -236,6 +339,25 @@ struct EngineState {
     comp: Vec<u32>,
     /// DFS stack scratch for [`EngineState::recompute`].
     dfs: Vec<ResourceId>,
+    /// Resources stamped by the current recompute's DFS, in stamp order.
+    comp_res: Vec<ResourceId>,
+    /// Component-local index of each stamped resource (parallel to
+    /// `res_stamp`; only valid for resources stamped in the current epoch).
+    res_lidx: Vec<u32>,
+    /// Union-find parents over `comp_res`, grouping the component into
+    /// connected sub-groups for argmin prediction scheduling.
+    uf: Vec<u32>,
+    /// Canonical component descriptor assembled during the DFS (incremental
+    /// mode): `[n, per comp flow (cap bits, degree, (res_lidx, w bits)…),
+    /// per comp_res effective-capacity bits]` — the
+    /// [`IncrementalFiller::fill_keyed`] memo key.
+    key: Vec<u64>,
+    /// Per-group earliest predicted finisher: `((t_fin bits ‖ pred_seq),
+    /// flow)`, indexed by union-find root. `u128::MAX` = no runnable member.
+    group_best: Vec<(u128, u32)>,
+    /// Unchanged flows whose queued prediction survived the rate loop —
+    /// the only candidates the argmin pass may still have to cancel.
+    keeps: Vec<u32>,
 }
 
 impl EngineState {
@@ -255,6 +377,8 @@ impl EngineState {
             f.remaining = 0.0;
             f.rate = 0.0;
             f.last_update = 0.0;
+            f.t_fin = 0.0;
+            f.pred_seq = 0;
             f.version = 0;
             f.alive = false;
             f.stalled = false;
@@ -271,10 +395,19 @@ impl EngineState {
         self.resource_bytes.resize(n_res, 0.0);
         self.res_stamp.clear();
         self.res_stamp.resize(n_res, 0);
+        self.res_lidx.clear();
+        self.res_lidx.resize(n_res, 0);
         self.flow_stamp.clear();
         self.flow_stamp.resize(self.flows.len(), 0);
         self.epoch = 0;
+        self.cal.clear();
         self.heap.clear();
+        self.finish_ev.clear();
+        self.finish_ev.resize(self.flows.len(), (0.0, 0));
+        self.retry_ev.clear();
+        self.retry_ev.resize(self.flows.len(), (0.0, 0));
+        self.incremental = incremental_enabled();
+        self.filler.reset(n_res);
         self.seq = 0;
         self.active_flows = 0;
         self.max_active = 0;
@@ -286,37 +419,129 @@ impl EngineState {
 
     fn push_event(&mut self, time: f64, ev: Ev) {
         self.seq += 1;
-        self.heap.push(HeapEv {
-            time,
-            seq: self.seq,
-            ev,
-        });
+        if self.incremental {
+            self.cal.push(time, self.seq, ev);
+        } else {
+            self.heap.push(HeapEv {
+                time,
+                seq: self.seq,
+                ev,
+            });
+        }
+    }
+
+    /// Removes and returns the earliest pending event from whichever
+    /// queue this run uses.
+    fn pop_event(&mut self) -> Option<(f64, u64, Ev)> {
+        if self.incremental {
+            self.cal.pop()
+        } else {
+            self.heap.pop().map(|h| (h.time, h.seq, h.ev))
+        }
+    }
+
+    /// Schedules flow `fi`'s completion prediction, remembering its
+    /// calendar key so a later reschedule can cancel it.
+    fn push_finish(&mut self, time: f64, fi: u32, version: u64) {
+        self.seq += 1;
+        if self.incremental {
+            self.finish_ev[fi as usize] = (time, self.seq);
+            self.cal
+                .push(time, self.seq, Ev::Finish { flow: fi, version });
+        } else {
+            let ev = Ev::Finish { flow: fi, version };
+            self.heap.push(HeapEv {
+                time,
+                seq: self.seq,
+                ev,
+            });
+        }
+    }
+
+    /// Re-queues flow `fi`'s stored prediction under its reserved key,
+    /// burning no new sequence number — the seq was reserved when the rate
+    /// changed, so pop order matches the push-per-change baseline exactly.
+    fn push_finish_keyed(&mut self, time: f64, seq: u64, fi: u32, version: u64) {
+        debug_assert!(self.incremental);
+        self.finish_ev[fi as usize] = (time, seq);
+        self.cal.push(time, seq, Ev::Finish { flow: fi, version });
+    }
+
+    /// Deletes flow `fi`'s pending `Finish`, if any. No-op in scratch mode
+    /// (the version check catches the stale pop instead).
+    fn cancel_finish(&mut self, fi: u32) {
+        if self.incremental {
+            let (t, s) = self.finish_ev[fi as usize];
+            if s != 0 {
+                let found = self.cal.remove(t, s);
+                debug_assert!(found, "finish slot pointed at a missing event");
+                self.finish_ev[fi as usize] = (0.0, 0);
+            }
+        }
+    }
+
+    /// Schedules flow `fi`'s retry timeout, remembering its calendar key.
+    fn push_retry(&mut self, time: f64, fi: u32, version: u64) {
+        self.seq += 1;
+        if self.incremental {
+            self.retry_ev[fi as usize] = (time, self.seq);
+            self.cal
+                .push(time, self.seq, Ev::Retry { flow: fi, version });
+        } else {
+            let ev = Ev::Retry { flow: fi, version };
+            self.heap.push(HeapEv {
+                time,
+                seq: self.seq,
+                ev,
+            });
+        }
     }
 
     /// Recomputes max-min rates over the connected component reachable from
     /// `seed_resources`, settling byte accounting at `now` and rescheduling
     /// completion predictions for flows whose rate changed.
-    fn recompute(
+    fn recompute<P: Probe + ?Sized>(
         &mut self,
         now: f64,
         seed_resources: &[ResourceId],
         rmap: &ResourceMap,
-        probe: &mut dyn Probe,
-    ) {
+        probe: &mut P,
+    ) -> Result<(), SimError> {
         self.epoch += 1;
         let e = self.epoch;
+        let inc = self.incremental;
         // Scratch vectors live in the state (allocation-free after warm-up)
         // but are taken out so the traversal below can borrow `self` freely.
         let mut comp = std::mem::take(&mut self.comp);
         comp.clear();
         let mut stack = std::mem::take(&mut self.dfs);
         stack.clear();
+        let mut uf = std::mem::take(&mut self.uf);
+        self.comp_res.clear();
+        if inc {
+            uf.clear();
+            self.key.clear();
+            self.key.push(0); // patched to comp.len() after the DFS
+        }
         for &r in seed_resources {
             if self.res_stamp[r.index()] != e {
                 self.res_stamp[r.index()] = e;
+                self.res_lidx[r.index()] = self.comp_res.len() as u32;
+                if inc {
+                    uf.push(self.comp_res.len() as u32);
+                }
+                self.comp_res.push(r);
                 stack.push(r);
             }
         }
+        // DFS over the flow/resource bipartite graph. The visit fuses three
+        // extra jobs into the traversal while the flow is already in cache:
+        // settling byte accounting up to `now` (`comp` is built in this same
+        // visit order, so per-resource accumulation order — and hence every
+        // rounded sum — is unchanged), and in incremental mode the canonical
+        // memo key for the filler plus a union-find over the component's
+        // resources, grouping it into the connected sub-groups the argmin
+        // scheduler below works per.
         while let Some(r) = stack.pop() {
             for &fi in &self.res_flows[r.index()] {
                 if self.flow_stamp[fi as usize] == e {
@@ -324,10 +549,46 @@ impl EngineState {
                 }
                 self.flow_stamp[fi as usize] = e;
                 comp.push(fi);
-                for &(r2, _) in &self.flows[fi as usize].resources {
+                let f = &mut self.flows[fi as usize];
+                let dt = now - f.last_update;
+                let moved = if dt > 0.0 && f.rate > 0.0 {
+                    (f.rate * dt).min(f.remaining)
+                } else {
+                    0.0
+                };
+                f.remaining -= moved;
+                f.last_update = now;
+                let f = &self.flows[fi as usize];
+                if inc {
+                    self.key.push(f.cap.to_bits());
+                    self.key.push(f.resources.len() as u64);
+                }
+                let mut root = u32::MAX;
+                for &(r2, w) in &f.resources {
+                    if moved > 0.0 {
+                        self.resource_bytes[r2.index()] += moved * w;
+                    }
                     if self.res_stamp[r2.index()] != e {
                         self.res_stamp[r2.index()] = e;
+                        self.res_lidx[r2.index()] = self.comp_res.len() as u32;
+                        if inc {
+                            uf.push(self.comp_res.len() as u32);
+                        }
+                        self.comp_res.push(r2);
                         stack.push(r2);
+                    }
+                    if inc {
+                        let li = self.res_lidx[r2.index()];
+                        self.key.push(u64::from(li));
+                        self.key.push(w.to_bits());
+                        if root == u32::MAX {
+                            root = Self::uf_find(&mut uf, li);
+                        } else {
+                            let b = Self::uf_find(&mut uf, li);
+                            if b != root {
+                                uf[b as usize] = root;
+                            }
+                        }
                     }
                 }
             }
@@ -335,43 +596,81 @@ impl EngineState {
         if comp.is_empty() {
             self.comp = comp;
             self.dfs = stack;
-            return;
+            self.uf = uf;
+            return Ok(());
         }
-
-        // Settle accounting up to `now`.
-        for &fi in &comp {
-            let f = &mut self.flows[fi as usize];
-            let dt = now - f.last_update;
-            if dt > 0.0 && f.rate > 0.0 {
-                let moved = (f.rate * dt).min(f.remaining);
-                for &(r, w) in &f.resources {
-                    self.resource_bytes[r.index()] += moved * w;
-                }
-                f.remaining -= moved;
+        if inc {
+            self.key[0] = comp.len() as u64;
+            for &r in &self.comp_res {
+                self.key
+                    .push((rmap.capacity(r) * self.cap_scale[r.index()]).to_bits());
             }
-            f.last_update = now;
         }
 
         // Water-fill the component, handing the filler a view straight into
-        // the flow table — no per-call spec vector.
-        {
+        // the flow table — no per-call spec vector. Incremental mode probes
+        // the filler's memo with the key assembled during the DFS (recurring
+        // component shapes — every step of a ring, every symmetric node —
+        // replay a stored solution bit-identically); scratch mode re-solves
+        // from scratch every time.
+        let filled = {
             let flows = &self.flows;
             let cap_scale = &self.cap_scale;
-            self.filler.fill_with(
-                comp.len(),
-                |k| {
-                    let f = &flows[comp[k] as usize];
-                    FlowSpec {
-                        cap: f.cap,
-                        resources: &f.resources,
-                    }
-                },
-                |r| rmap.capacity(r) * cap_scale[r.index()],
-                &mut self.rates,
-            );
-        }
-        probe.waterfill(now, comp.len());
+            let flow_view = |k: usize| {
+                let f = &flows[comp[k] as usize];
+                FlowSpec {
+                    cap: f.cap,
+                    resources: &f.resources,
+                }
+            };
+            let capacity = |r: ResourceId| rmap.capacity(r) * cap_scale[r.index()];
+            if inc {
+                let res_lidx = &self.res_lidx;
+                let comp_res = &self.comp_res;
+                self.filler.fill_keyed(
+                    &self.key,
+                    comp.len(),
+                    flow_view,
+                    capacity,
+                    |r| res_lidx[r.index()],
+                    |li| comp_res[li as usize],
+                    &mut self.rates,
+                )
+            } else {
+                self.filler
+                    .fill_view(comp.len(), flow_view, capacity, &mut self.rates, false)
+            }
+        };
+        let touched = match filled {
+            Ok(t) => t,
+            Err(err) => {
+                let op = self.flows[comp[err.flow()] as usize].op;
+                self.comp = comp;
+                self.dfs = stack;
+                self.uf = uf;
+                return Err(SimError::InvalidFlow { op, source: err });
+            }
+        };
+        probe.waterfill(now, comp.len(), touched);
 
+        // Rate updates, fused with the argmin accumulation: incremental
+        // mode queues ONE prediction per connected sub-group — its argmin
+        // stored `(t_fin, pred_seq)`. Any valid `Finish` pop recomputes over
+        // the popped flow's whole sub-group, so predictions for later
+        // finishers are recreated then — queueing them all now would only
+        // produce events that get cancelled or superseded first. This turns
+        // queue traffic from O(rate changes) per recompute (≈ the component
+        // size on contended rings) into O(sub-groups) (usually 1). Stored
+        // `(t_fin, pred_seq)` keys are reused verbatim, so the event a
+        // prediction eventually fires as is bit-identical — time, order
+        // among same-instant events, everything — to push-per-change.
+        let mut best = std::mem::take(&mut self.group_best);
+        let mut keeps = std::mem::take(&mut self.keeps);
+        if inc {
+            best.clear();
+            best.resize(self.comp_res.len(), (u128::MAX, u32::MAX));
+            keeps.clear();
+        }
         for (k, &fi) in comp.iter().enumerate() {
             let new_rate = self.rates[k];
             let f = &mut self.flows[fi as usize];
@@ -386,25 +685,123 @@ impl EngineState {
                     let (flow, version, op) = (fi, f.version, f.op);
                     probe.flow_rate(op, flow, 0.0, now);
                     let t = now + self.retry_timeout;
-                    self.push_event(t, Ev::Retry { flow, version });
+                    self.cancel_finish(flow);
+                    self.push_retry(t, flow, version);
                 }
                 continue;
             }
-            let changed = f.stalled || (new_rate - f.rate).abs() > RATE_EPS * f.cap;
+            let was_stalled = f.stalled;
+            let changed = was_stalled || (new_rate - f.rate).abs() > RATE_EPS * f.cap;
             f.rate = new_rate;
             f.stalled = false;
             f.retries = 0;
+            // Queue bookkeeping stays inline under the single `f` borrow
+            // (`seq`, `finish_ev`, `cal`, `heap` are all disjoint fields) —
+            // re-indexing the flow table or bouncing through `&mut self`
+            // helpers costs real time at ~7 changed flows per event.
             if changed {
                 f.version += 1;
                 assert!(new_rate > 0.0, "flow starved by water-filling");
                 let t_fin = now + f.remaining / new_rate;
-                let (flow, version, op) = (fi, f.version, f.op);
-                probe.flow_rate(op, flow, new_rate, now);
-                self.push_event(t_fin, Ev::Finish { flow, version });
+                f.t_fin = t_fin;
+                probe.flow_rate(f.op, fi, new_rate, now);
+                if inc {
+                    if was_stalled {
+                        let slot = &mut self.retry_ev[fi as usize];
+                        if slot.1 != 0 {
+                            let (t, s) = *slot;
+                            *slot = (0.0, 0);
+                            let found = self.cal.remove(t, s);
+                            debug_assert!(found, "retry slot pointed at a missing event");
+                        }
+                    }
+                    // Queueing is deferred to the argmin pass below. Burn
+                    // the sequence number the baseline would have stamped
+                    // on this prediction and reserve it for the (possible)
+                    // later push, then drop the superseded event — a
+                    // surviving slot always means "time, seq and version
+                    // unchanged since push".
+                    self.seq += 1;
+                    f.pred_seq = self.seq;
+                    let slot = &mut self.finish_ev[fi as usize];
+                    if slot.1 != 0 {
+                        let (t, s) = *slot;
+                        *slot = (0.0, 0);
+                        let found = self.cal.remove(t, s);
+                        debug_assert!(found, "finish slot pointed at a missing event");
+                    }
+                } else {
+                    self.seq += 1;
+                    let ev = Ev::Finish {
+                        flow: fi,
+                        version: f.version,
+                    };
+                    self.heap.push(HeapEv {
+                        time: t_fin,
+                        seq: self.seq,
+                        ev,
+                    });
+                }
+            } else if inc && self.finish_ev[fi as usize].1 != 0 {
+                // Unchanged flow with a live queued prediction: it keeps
+                // its event (and queue position) unless the pass below
+                // finds its sub-group's argmin moved elsewhere. Stalled
+                // and changed flows never land here — their slots were
+                // just cancelled.
+                keeps.push(fi);
+            }
+            if inc {
+                if let Some(&(r0, _)) = f.resources.first() {
+                    let g = Self::uf_find(&mut uf, self.res_lidx[r0.index()]) as usize;
+                    // `t_fin` is non-negative, so the bit pattern orders
+                    // like the float. Exact time ties MUST break by the
+                    // reserved sequence number — that is the order the
+                    // baseline pops same-instant predictions in.
+                    let cand = (u128::from(f.t_fin.to_bits()) << 64) | u128::from(f.pred_seq);
+                    if (cand, fi) < best[g] {
+                        best[g] = (cand, fi);
+                    }
+                }
             }
         }
+        if inc {
+            // Queue each sub-group's argmin (push order across groups is
+            // irrelevant — the queue sorts by key) and drop the queued
+            // prediction of any unchanged flow the argmin moved away from.
+            for &(_, fi) in &best {
+                if fi != u32::MAX && self.finish_ev[fi as usize].1 == 0 {
+                    let f = &self.flows[fi as usize];
+                    let (t_fin, seq, version) = (f.t_fin, f.pred_seq, f.version);
+                    self.push_finish_keyed(t_fin, seq, fi, version);
+                }
+            }
+            for &fi in &keeps {
+                let f = &self.flows[fi as usize];
+                let Some(&(r0, _)) = f.resources.first() else {
+                    continue;
+                };
+                let g = Self::uf_find(&mut uf, self.res_lidx[r0.index()]) as usize;
+                if best[g].1 != fi {
+                    self.cancel_finish(fi);
+                }
+            }
+        }
+        self.keeps = keeps;
+        self.group_best = best;
+        self.uf = uf;
         self.comp = comp;
         self.dfs = stack;
+        Ok(())
+    }
+
+    /// Union-find lookup with path halving over the scratch parent table.
+    fn uf_find(uf: &mut [u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            let p = uf[x as usize];
+            uf[x as usize] = uf[p as usize];
+            x = uf[p as usize];
+        }
+        x
     }
 }
 
@@ -489,6 +886,49 @@ pub fn set_check_enabled(v: Option<bool>) {
     CHECK_OVERRIDE.store(code, std::sync::atomic::Ordering::SeqCst);
 }
 
+/// Programmatic override of the incremental allocator: 0 = none (fall back
+/// to the cached `MHA_SCRATCH_FILL` read), 1 = forced scratch, 2 = forced
+/// incremental.
+static INCR_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Whether the incremental max-min allocator (memoized component replay +
+/// keyed stale-event cancellation) is on. It is on by default and
+/// **behavior-invisible**: every simulation result is bit-identical either
+/// way — only speed changes. The scratch path exists as the
+/// differential-testing reference (the conformance `waterfill` oracle runs
+/// both and compares bits).
+///
+/// Resolution order mirrors [`check_enabled`]: the programmatic override
+/// ([`set_incremental_enabled`]) wins; otherwise incremental unless the
+/// `MHA_SCRATCH_FILL` environment variable is set (to anything other than
+/// empty or `0`), read once per process and cached.
+pub fn incremental_enabled() -> bool {
+    match INCR_OVERRIDE.load(std::sync::atomic::Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => {
+            static SCRATCH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            !*SCRATCH.get_or_init(|| {
+                std::env::var("MHA_SCRATCH_FILL").is_ok_and(|v| !v.is_empty() && v != "0")
+            })
+        }
+    }
+}
+
+/// Forces the incremental allocator on (`Some(true)`), off — i.e. scratch
+/// mode — (`Some(false)`), or back to the cached `MHA_SCRATCH_FILL`
+/// environment read (`None`). Thread-safe; the mode is sampled once per
+/// run, and both modes produce bit-identical results, so flipping this
+/// concurrently with other runs only affects their speed.
+pub fn set_incremental_enabled(v: Option<bool>) {
+    let code = match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    INCR_OVERRIDE.store(code, std::sync::atomic::Ordering::SeqCst);
+}
+
 /// A discrete-event simulator for one cluster specification.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -571,19 +1011,26 @@ impl Simulator {
     /// flag), every run is additionally audited by an
     /// [`mha_sched::InvariantProbe`] teed alongside `probe`, and any
     /// causality/capacity/conservation violation panics with a report.
-    pub fn run_probed(
+    pub fn run_probed<P: Probe + ?Sized>(
         &self,
         sch: &FrozenSchedule,
-        probe: &mut dyn Probe,
+        probe: &mut P,
     ) -> Result<SimResult, SimError> {
         self.run_probed_in(sch, probe, &mut EngineArena::new())
     }
 
     /// [`Simulator::run_probed`] through a reusable [`EngineArena`].
-    pub fn run_probed_in(
+    ///
+    /// Generic over the probe so the no-probe path ([`Simulator::run_in`],
+    /// the campaign hot loop) monomorphizes with [`NullProbe`] and every
+    /// per-rate-change callback inlines to nothing — the event loop makes
+    /// hundreds of thousands of probe calls per run, and a virtual dispatch
+    /// on each is measurable. `&mut dyn Probe` still works (`dyn Probe`
+    /// implements `Probe`).
+    pub fn run_probed_in<P: Probe + ?Sized>(
         &self,
         sch: &FrozenSchedule,
-        probe: &mut dyn Probe,
+        probe: &mut P,
         arena: &mut EngineArena,
     ) -> Result<SimResult, SimError> {
         if check_enabled() {
@@ -596,13 +1043,13 @@ impl Simulator {
         }
     }
 
-    fn run_probed_inner(
+    fn run_probed_inner<P: Probe + ?Sized>(
         &self,
         sch: &FrozenSchedule,
-        probe: &mut dyn Probe,
+        probe: &mut P,
         arena: &mut EngineArena,
     ) -> Result<SimResult, SimError> {
-        mha_sched::validate(sch, Some(self.spec.rails))?;
+        sch.validate_for(Some(self.spec.rails))?;
         let grid = *sch.grid();
         if grid.ppn() > self.spec.cores_per_node {
             return Err(SimError::PpnExceedsCores {
@@ -697,10 +1144,14 @@ impl Simulator {
         let mut events = 0u64;
         let mut makespan = 0.0f64;
 
-        while let Some(HeapEv { time, ev, .. }) = st.heap.pop() {
-            events += 1;
+        // `events` counts *processed* events: pops that survive their
+        // staleness checks. (Incremental mode deletes superseded events
+        // instead of popping them, so counting raw pops would make the
+        // diagnostic depend on the allocator mode.)
+        while let Some((time, seq, ev)) = st.pop_event() {
             match ev {
                 Ev::Start { op } => {
+                    events += 1;
                     let oi = op as usize;
                     probe.op_start(op, time);
                     self.emit_op_flows(
@@ -726,11 +1177,13 @@ impl Simulator {
                         } else {
                             st.flows.push(Flow {
                                 op,
-                                resources: Vec::new(),
+                                resources: ResList::new(),
                                 cap: 1.0,
                                 remaining: 0.0,
                                 rate: 0.0,
                                 last_update: 0.0,
+                                t_fin: 0.0,
+                                pred_seq: 0,
                                 version: 0,
                                 alive: false,
                                 stalled: false,
@@ -738,6 +1191,8 @@ impl Simulator {
                                 route: None,
                             });
                             st.flow_stamp.push(0);
+                            st.finish_ev.push((0.0, 0));
+                            st.retry_ev.push((0.0, 0));
                             st.flows.len() - 1
                         };
                         {
@@ -753,6 +1208,8 @@ impl Simulator {
                             f.remaining = sp.bytes;
                             f.rate = 0.0;
                             f.last_update = time;
+                            f.t_fin = 0.0;
+                            f.pred_seq = 0;
                             f.version += 1;
                             f.alive = true;
                             f.stalled = false;
@@ -777,13 +1234,7 @@ impl Simulator {
                             let t_fin = time + f.remaining / f.rate;
                             let (version, rate) = (f.version, f.rate);
                             probe.flow_rate(op, fi as u32, rate, time);
-                            st.push_event(
-                                t_fin,
-                                Ev::Finish {
-                                    flow: fi as u32,
-                                    version,
-                                },
-                            );
+                            st.push_finish(t_fin, fi as u32, version);
                         }
                         st.active_flows += 1;
                     }
@@ -798,14 +1249,18 @@ impl Simulator {
                     }
                     op_flows_left[oi] = created;
                     if !seeds.is_empty() {
-                        st.recompute(time, seeds, rmap, probe);
+                        st.recompute(time, seeds, rmap, probe)?;
                     }
                 }
                 Ev::Finish { flow, version } => {
                     let fi = flow as usize;
+                    if st.finish_ev[fi].1 == seq {
+                        st.finish_ev[fi] = (0.0, 0);
+                    }
                     if !st.flows[fi].alive || st.flows[fi].version != version {
                         continue; // stale prediction
                     }
+                    events += 1;
                     let flow_op: u32;
                     let moved: f64;
                     {
@@ -854,10 +1309,11 @@ impl Simulator {
                         self.enqueue_ready(sch, flow_op, time, ready, probe, st);
                     }
                     if !seeds.is_empty() {
-                        st.recompute(time, seeds, rmap, probe);
+                        st.recompute(time, seeds, rmap, probe)?;
                     }
                 }
                 Ev::Fault { idx } => {
+                    events += 1;
                     let fe = fault_events[idx as usize];
                     seeds.clear();
                     if matches!(fe.kind, FaultKind::NodeDown | FaultKind::NodeUp) {
@@ -909,16 +1365,20 @@ impl Simulator {
                             }
                         }
                     }
-                    st.recompute(time, seeds, rmap, probe);
+                    st.recompute(time, seeds, rmap, probe)?;
                 }
                 Ev::Retry { flow, version } => {
                     let fi = flow as usize;
+                    if st.retry_ev[fi].1 == seq {
+                        st.retry_ev[fi] = (0.0, 0);
+                    }
                     if !st.flows[fi].alive
                         || st.flows[fi].version != version
                         || !st.flows[fi].stalled
                     {
                         continue; // the flow finished or already woke up
                     }
+                    events += 1;
                     let Some((sn, dn, cur)) = st.flows[fi].route else {
                         continue; // non-rail flows never stall on a fault
                     };
@@ -939,22 +1399,28 @@ impl Simulator {
                         Some(h) => {
                             // Re-issue: move the flow onto the surviving
                             // rail, keeping identity and remaining bytes.
-                            let old: Vec<ResourceId> =
-                                st.flows[fi].resources.iter().map(|&(r, _)| r).collect();
-                            for &r in &old {
+                            // `seeds` doubles as the old-resource scratch —
+                            // the recompute below must seed both the rails
+                            // the flow left and the ones it joined.
+                            seeds.clear();
+                            seeds.extend(st.flows[fi].resources.iter().map(|&(r, _)| r));
+                            for &r in seeds.iter() {
                                 let list = &mut st.res_flows[r.index()];
                                 if let Some(pos) = list.iter().position(|&x| x == flow) {
                                     list.swap_remove(pos);
                                 }
                             }
-                            let new_res = vec![(rmap.tx(sn, h), 1.0), (rmap.rx(dn, h), 1.0)];
-                            for &(r, _) in &new_res {
-                                st.res_flows[r.index()].push(flow);
+                            let (txr, rxr) = (rmap.tx(sn, h), rmap.rx(dn, h));
+                            {
+                                let f = &mut st.flows[fi];
+                                f.resources.clear();
+                                f.resources.push((txr, 1.0));
+                                f.resources.push((rxr, 1.0));
+                                f.route = Some((sn, dn, h));
+                                f.retries = 0;
                             }
-                            let f = &mut st.flows[fi];
-                            f.resources = new_res;
-                            f.route = Some((sn, dn, h));
-                            f.retries = 0;
+                            st.res_flows[txr.index()].push(flow);
+                            st.res_flows[rxr.index()].push(flow);
                             if narrate_flows {
                                 let res: Vec<(u32, f64)> = st.flows[fi]
                                     .resources
@@ -963,20 +1429,21 @@ impl Simulator {
                                     .collect();
                                 probe.flow_resources(st.flows[fi].op, flow, &res, time);
                             }
-                            let mut retry_seeds = old;
-                            retry_seeds.push(rmap.tx(sn, h));
-                            retry_seeds.push(rmap.rx(dn, h));
-                            st.recompute(time, &retry_seeds, rmap, probe);
+                            seeds.push(txr);
+                            seeds.push(rxr);
+                            st.recompute(time, seeds, rmap, probe)?;
                         }
                         None => {
-                            // No rail survives: back off exponentially and
-                            // try again. If every rail stays down forever
-                            // the run ends at the deadlock assertion below.
+                            // No rail survives: back off exponentially
+                            // (saturating at the documented 2^10 cap — the
+                            // counter itself must not wrap past it) and try
+                            // again. If every rail stays down forever the
+                            // run ends at the deadlock assertion below.
                             let f = &mut st.flows[fi];
-                            f.retries += 1;
-                            let backoff = (1u64 << f.retries.min(10)) as f64;
+                            f.retries = f.retries.saturating_add(1);
+                            let backoff = (1u64 << f.retries.min(MAX_BACKOFF_SHIFT)) as f64;
                             let t = time + st.retry_timeout * backoff;
-                            st.push_event(t, Ev::Retry { flow, version });
+                            st.push_retry(t, flow, version);
                         }
                     }
                 }
@@ -1008,13 +1475,13 @@ impl Simulator {
 
     /// Releases successors of completed op `op` through the shared readiness
     /// driver and schedules their starts after their startup latencies.
-    fn enqueue_ready(
+    fn enqueue_ready<P: Probe + ?Sized>(
         &self,
         sch: &FrozenSchedule,
         op: u32,
         time: f64,
         ready: &mut ReadySet,
-        probe: &mut dyn Probe,
+        probe: &mut P,
         st: &mut EngineState,
     ) {
         ready.complete(sch, op, |s| {
@@ -2135,5 +2602,165 @@ mod tests {
         let gated = empty.run(&sch).unwrap();
         assert_eq!(plain.makespan.to_bits(), gated.makespan.to_bits());
         assert_eq!(plain.events, gated.events);
+    }
+
+    fn assert_bits_eq(a: &SimResult, b: &SimResult, what: &str) {
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{what}: makespan"
+        );
+        assert_eq!(a.events, b.events, "{what}: event count");
+        assert_eq!(a.op_end.len(), b.op_end.len(), "{what}: op count");
+        for (i, (x, y)) in a.op_end.iter().zip(&b.op_end).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: op_end[{i}]");
+        }
+        for (i, (x, y)) in a.resource_bytes.iter().zip(&b.resource_bytes).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: resource_bytes[{i}]");
+        }
+    }
+
+    /// Every rail down from t=0: the flow must make zero-capacity forward
+    /// progress via the stall/retry machinery (no spin, no deadlock) and
+    /// resume the instant the fabric comes back.
+    #[test]
+    fn all_rails_down_at_t0_recover_without_spinning() {
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::Rail(0));
+        let timeout = 10e-6;
+        let t_up = 500e-6;
+        let mut faults = FaultSpec::new(timeout);
+        for rail in 0..2u8 {
+            faults = faults
+                .with_event(FaultEvent {
+                    time: 0.0,
+                    rail,
+                    node: None,
+                    kind: FaultKind::Down,
+                })
+                .with_event(FaultEvent {
+                    time: t_up,
+                    rail,
+                    node: None,
+                    kind: FaultKind::Up,
+                });
+        }
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = t_up + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    /// A no-survivor flap long enough to force hundreds of consecutive
+    /// retries: the exponential backoff multiplier must saturate at
+    /// `2^MAX_BACKOFF_SHIFT` (an unsaturated shift overflows u64 well
+    /// before the fabric recovers) and the flow must still resume.
+    #[test]
+    fn retry_backoff_saturates_under_a_long_no_survivor_flap() {
+        let len = 1 << 20;
+        let sch = rail_sch(len, Channel::Rail(0));
+        let timeout = 1e-9; // waits saturate at ~1 µs → hundreds of retries
+        let t_up = 1e-3;
+        let mut faults = FaultSpec::new(timeout);
+        for rail in 0..2u8 {
+            faults = faults
+                .with_event(FaultEvent {
+                    time: 0.0,
+                    rail,
+                    node: None,
+                    kind: FaultKind::Down,
+                })
+                .with_event(FaultEvent {
+                    time: t_up,
+                    rail,
+                    node: None,
+                    kind: FaultKind::Up,
+                });
+        }
+        let r = Simulator::with_faults(ClusterSpec::thor(), faults)
+            .unwrap()
+            .run(&sch)
+            .unwrap();
+        let spec = ClusterSpec::thor();
+        let expect = t_up + len as f64 / spec.rail_bw;
+        assert!(
+            rel_close(r.makespan, expect, 1e-9),
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    /// A malformed per-flow cap that slips past spec validation surfaces
+    /// as a typed `SimError::InvalidFlow` naming the op — not a
+    /// debug-only assertion that release builds would sail past.
+    #[test]
+    fn bad_flow_cap_is_a_typed_error_naming_the_op() {
+        let mut s = sim();
+        s.spec.cma_bw = f64::NAN; // smuggled past `Simulator::new` validation
+        let grid = ProcGrid::single_node(2);
+        let mut b = ScheduleBuilder::new(grid, "badcap");
+        let len = 1 << 16;
+        let src = b.private_buf(RankId(0), len, "s");
+        let dst = b.private_buf(RankId(1), len, "d");
+        b.transfer(
+            RankId(0),
+            RankId(1),
+            Loc::new(src, 0),
+            Loc::new(dst, 0),
+            len,
+            Channel::Cma,
+            &[],
+            0,
+        );
+        let err = s.run(&b.finish().freeze()).unwrap_err();
+        match err {
+            SimError::InvalidFlow { op, source } => {
+                assert_eq!(op, 0, "the failing op id is reported");
+                assert!(matches!(source, crate::FillError::BadCap { .. }));
+            }
+            other => panic!("expected InvalidFlow, got {other:?}"),
+        }
+    }
+
+    /// The incremental engine (calendar queue + keyed memo + argmin
+    /// rescheduling) and the scratch engine (binary heap, re-solve every
+    /// component) must agree bit-for-bit on every observable — on a mixed
+    /// striped/CMA schedule and on a faulty one exercising stall/retry.
+    #[test]
+    fn incremental_and_scratch_engines_agree_bit_for_bit() {
+        let run_both = |f: &dyn Fn() -> SimResult, what: &str| {
+            set_incremental_enabled(Some(true));
+            let inc = f();
+            set_incremental_enabled(Some(false));
+            let scr = f();
+            set_incremental_enabled(None);
+            assert_bits_eq(&inc, &scr, what);
+        };
+        let sch = mixed_sched();
+        let s = sim();
+        run_both(&|| s.run(&sch).unwrap(), "mixed schedule");
+
+        let fsch = rail_sch(1 << 20, Channel::AllRails);
+        let mut faults = FaultSpec::flap(0, 50e-6, 120e-6);
+        faults.retry_timeout = 10e-6;
+        let fs = Simulator::with_faults(ClusterSpec::thor(), faults).unwrap();
+        run_both(&|| fs.run(&fsch).unwrap(), "flapping rail");
+
+        // And through a shared warm arena, where slot recycling and the
+        // calendar's learned geometry persist across runs.
+        let mut arena = EngineArena::new();
+        set_incremental_enabled(Some(true));
+        let inc = s.run_in(&sch, &mut arena).unwrap();
+        set_incremental_enabled(Some(false));
+        let scr = s.run_in(&sch, &mut arena).unwrap();
+        set_incremental_enabled(None);
+        assert_bits_eq(&inc, &scr, "warm arena");
     }
 }

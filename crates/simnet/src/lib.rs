@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod fault;
 mod metrics;
@@ -45,7 +46,8 @@ mod trace;
 mod waterfill;
 
 pub use engine::{
-    check_enabled, set_check_enabled, EngineArena, SimConfig, SimError, SimResult, Simulator,
+    check_enabled, incremental_enabled, set_check_enabled, set_incremental_enabled, EngineArena,
+    SimConfig, SimError, SimResult, Simulator,
 };
 pub use fault::{FaultEvent, FaultKind, FaultSpec, DEFAULT_RETRY_TIMEOUT};
 pub use metrics::{kind_breakdown, phase_breakdown, KindBreakdown};
@@ -54,4 +56,6 @@ pub use numa::NumaSpec;
 pub use resources::{ResourceId, ResourceMap};
 pub use topology::ClusterSpec;
 pub use trace::{intersection_length, union_length, Lane, OpSpan, SpanMeta, Trace, TraceBuilder};
-pub use waterfill::{max_min_rates, FlowSpec, WaterFiller};
+pub use waterfill::{
+    max_min_rates, FillError, FillStats, FlowSpec, IncrementalFiller, WaterFiller,
+};
