@@ -71,6 +71,12 @@ pub struct ConfigKey {
     /// [`ConfigKey::for_topology`], so a 3-level and a 2-level build of
     /// the same `nodes × ppn` can never share a cache entry.
     pub topo_digest: u64,
+    /// `mha_traffic::placement_digest` of the node subset a
+    /// relocated schedule occupies on a shared cluster. Zero for the
+    /// ordinary whole-cluster builds; set by [`ConfigKey::with_placement`]
+    /// for the traffic layer's cached relocations, so two jobs with the
+    /// same [`AlgoConfig`] but different placements never alias.
+    pub placement: u64,
 }
 
 impl ConfigKey {
@@ -84,6 +90,7 @@ impl ConfigKey {
             spec_digest: spec.digest(),
             salt: 0,
             topo_digest: 0,
+            placement: 0,
         }
     }
 
@@ -125,6 +132,15 @@ impl ConfigKey {
         self
     }
 
+    /// Replaces the placement digest (builder style) — required whenever
+    /// the cached artifact is a schedule *relocated* onto a node subset
+    /// of a larger cluster, since `nodes`/`ppn` then describe the job
+    /// grid, not where it landed.
+    pub fn with_placement(mut self, placement: u64) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// A stable 64-bit digest of the key (shard selection, diagnostics).
     pub fn digest(&self) -> u64 {
         let mut fp = Fingerprinter::new();
@@ -134,7 +150,8 @@ impl ConfigKey {
             .push_usize(self.msg)
             .push_u64(self.spec_digest)
             .push_u64(self.salt)
-            .push_u64(self.topo_digest);
+            .push_u64(self.topo_digest)
+            .push_u64(self.placement);
         fp.finish().0
     }
 }

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod traffic;
 
 use std::path::PathBuf;
 

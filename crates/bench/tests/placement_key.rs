@@ -1,0 +1,81 @@
+//! Satellite property of the placement-aware cache key: two traffic jobs
+//! with the **same `AlgoConfig` but different node subsets must never
+//! alias a `ScheduleCache` entry**. A relocated schedule hard-codes its
+//! placement into every rank and buffer owner, so a shared entry would
+//! silently run one tenant's job on another tenant's nodes — the
+//! `ConfigKey::placement` discriminant exists to make that impossible.
+
+use std::sync::Arc;
+
+use mha_bench::campaign::{ConfigKey, ScheduleCache};
+use mha_bench::pt2pt_rails_schedule;
+use mha_collectives::AlgoConfig;
+use mha_sched::ProcGrid;
+use mha_simnet::ClusterSpec;
+use mha_traffic::placement_digest;
+use proptest::prelude::*;
+
+const CLUSTER_NODES: u32 = 16;
+
+/// A random whole-node placement: a sorted distinct subset of the
+/// 16-node cluster, width 2–8 (the traffic layer's realistic range).
+fn arb_placement() -> impl Strategy<Value = Vec<u32>> {
+    (2usize..=8).prop_flat_map(|w| {
+        proptest::collection::btree_set(0u32..CLUSTER_NODES, w..=w)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Same config + message, different placements → different keys and
+    /// different cache entries; identical placements → one shared entry.
+    #[test]
+    fn distinct_placements_never_alias_a_cache_entry(
+        pa in arb_placement(),
+        pb in arb_placement(),
+        msg in 1usize..=(1 << 14),
+    ) {
+        let spec = ClusterSpec::thor();
+        let cfg = AlgoConfig::default();
+        let cluster = ProcGrid::new(CLUSTER_NODES, 4);
+        let ga = ProcGrid::new(pa.len() as u32, 4);
+        let gb = ProcGrid::new(pb.len() as u32, 4);
+        let ka = ConfigKey::for_algo(&cfg.coerce_for(ga), ga, msg, &spec)
+            .with_placement(placement_digest(cluster, &pa));
+        let kb = ConfigKey::for_algo(&cfg.coerce_for(gb), gb, msg, &spec)
+            .with_placement(placement_digest(cluster, &pb));
+        // coerce_for only depends on the grid, so equal-width placements
+        // share the config part; the placement digest must then be the
+        // deciding discriminant.
+        prop_assert_eq!(pa == pb, ka == kb, "key equality must mirror placement equality\n a={:?}\n b={:?}", pa, pb);
+
+        let cache = ScheduleCache::new(true);
+        let sa = cache.get_or_build(&ka, || Ok(pt2pt_rails_schedule(8))).unwrap();
+        let sb = cache.get_or_build(&kb, || Ok(pt2pt_rails_schedule(16))).unwrap();
+        if pa == pb {
+            prop_assert!(Arc::ptr_eq(&sa, &sb), "equal placements must share the entry");
+            prop_assert_eq!(cache.misses(), 1);
+            prop_assert_eq!(cache.hits(), 1);
+        } else {
+            prop_assert!(!Arc::ptr_eq(&sa, &sb), "distinct placements must not alias");
+            prop_assert_eq!(cache.misses(), 2);
+            prop_assert_eq!(cache.len(), 2);
+        }
+    }
+
+    /// The unplaced key (placement 0) never collides with any placed key,
+    /// and `with_placement` round-trips into the digest.
+    #[test]
+    fn placed_and_unplaced_keys_are_disjoint(p in arb_placement(), msg in 1usize..=(1 << 14)) {
+        let spec = ClusterSpec::thor();
+        let cluster = ProcGrid::new(CLUSTER_NODES, 4);
+        let grid = ProcGrid::new(p.len() as u32, 4);
+        let cfg = AlgoConfig::default().coerce_for(grid);
+        let plain = ConfigKey::for_algo(&cfg, grid, msg, &spec);
+        let placed = plain.clone().with_placement(placement_digest(cluster, &p));
+        prop_assert!(plain != placed, "placement must re-key");
+        prop_assert!(plain.digest() != placed.digest(), "digest must cover placement");
+    }
+}

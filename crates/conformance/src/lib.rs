@@ -35,6 +35,7 @@ pub mod crash;
 pub mod faults;
 pub mod fuzz;
 pub mod oracle;
+pub mod traffic;
 pub mod tuned;
 pub mod waterfill;
 
@@ -50,5 +51,9 @@ pub use faults::{
 };
 pub use fuzz::{judge, seeded_mutants, shrink, FuzzTarget, Mutation, SchedSpec, Verdict};
 pub use oracle::{check_model_envelope, run_oracle, OracleConfig, OracleReport};
+pub use traffic::{
+    check_traffic_case, run_traffic_oracle, sample_traffic_case, TrafficCase, TrafficOracleConfig,
+    TrafficOracleReport,
+};
 pub use tuned::{run_tuned_oracle, TunedOracleConfig, TunedOracleReport};
 pub use waterfill::{run_waterfill_oracle, WaterfillOracleConfig, WaterfillOracleReport};

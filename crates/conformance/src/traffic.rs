@@ -1,0 +1,364 @@
+//! The tenant oracle: concurrent jobs must contend fairly and isolate
+//! exactly.
+//!
+//! Each case is a small multi-tenant traffic scenario priced through
+//! [`mha_traffic::run_jobs`] with invariant-check mode armed (the engine
+//! tees an [`mha_sched::InvariantProbe`] onto every run and panics on any
+//! causality/capacity/conservation violation). Two case shapes alternate:
+//!
+//! * **disjoint** — tenants occupy hand-built non-overlapping node
+//!   blocks. Every tenant's jobs must finish **bit-identically** to a
+//!   solo run of just that tenant's jobs (same placements, same
+//!   arrivals, competitors deleted): on a homogeneous cluster with
+//!   per-node resources, jobs that share nothing must not perturb each
+//!   other by even an ulp.
+//! * **contended** — a seeded random scenario ([`mha_traffic::sample_jobs`])
+//!   whose placements may overlap arbitrarily.
+//!
+//! Both shapes also audit aggregate accounting: the bytes that crossed
+//! every simulator resource must fit inside `capacity × makespan` — the
+//! water-filler may never oversubscribe a rail, CPU or memory bus no
+//! matter how many tenants pile onto it.
+
+use mha_bench::campaign::{run_campaign, CampaignConfig, CampaignPoint, Row};
+use mha_collectives::{AlgoConfig, Family as AlgoFamily};
+use mha_simnet::ClusterSpec;
+use mha_traffic::{
+    default_builder, run_jobs, sample_jobs, tenant_jobs, Arrival, JobSpec, PlacementPolicy,
+    TrafficReport, TrafficSpec, WorkloadMix,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Traffic-oracle knobs (all overridable from the environment).
+#[derive(Debug, Clone)]
+pub struct TrafficOracleConfig {
+    /// Number of random traffic cases (`MHA_TRAFFIC_CASES`).
+    pub cases: usize,
+    /// RNG seed (`MHA_TRAFFIC_SEED`); the sweep is deterministic given it.
+    pub seed: u64,
+}
+
+impl Default for TrafficOracleConfig {
+    fn default() -> Self {
+        TrafficOracleConfig {
+            cases: 100,
+            seed: 0x7EA7,
+        }
+    }
+}
+
+impl TrafficOracleConfig {
+    /// The default configuration with `MHA_TRAFFIC_CASES` and
+    /// `MHA_TRAFFIC_SEED` applied on top.
+    pub fn from_env() -> Self {
+        let mut cfg = TrafficOracleConfig::default();
+        if let Some(v) = env_parse("MHA_TRAFFIC_CASES") {
+            cfg.cases = v;
+        }
+        if let Some(v) = env_parse("MHA_TRAFFIC_SEED") {
+            cfg.seed = v;
+        }
+        cfg
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+/// One randomly drawn traffic case.
+#[derive(Debug, Clone)]
+pub struct TrafficCase {
+    /// The scenario (cluster shape, tenant count; its `arrival`/`mix` are
+    /// advisory for hand-built disjoint cases, authoritative otherwise).
+    pub spec: TrafficSpec,
+    /// The concrete job list priced by the case.
+    pub jobs: Vec<JobSpec>,
+    /// Whether tenants were placed on provably disjoint node blocks (and
+    /// the bit-equality half of the check applies).
+    pub disjoint: bool,
+}
+
+impl TrafficCase {
+    /// A short, greppable description for disagreement reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {}x{} {} jobs={} tenants={} seed={:#x}",
+            if self.disjoint {
+                "disjoint"
+            } else {
+                "contended"
+            },
+            self.spec.nodes,
+            self.spec.ppn,
+            self.spec.policy.token(),
+            self.jobs.len(),
+            self.spec.tenant_count(),
+            self.spec.seed,
+        )
+    }
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+fn sample_cfg(rng: &mut StdRng, nodes: u32, ppn: u32) -> AlgoConfig {
+    let grid = mha_sched::ProcGrid::new(nodes, ppn);
+    let cfg = match rng.gen_range(0..3u32) {
+        0 => AlgoConfig::default(),
+        1 => AlgoConfig::flat(AlgoFamily::Ring),
+        _ => AlgoConfig::flat(AlgoFamily::Bruck),
+    };
+    cfg.coerce_for(grid)
+}
+
+/// Draws a **disjoint** case: 2–3 tenants on non-overlapping contiguous
+/// node blocks of an 8-node cluster, each running a chain or a timed
+/// sequence of 1–3 jobs pinned to its block.
+fn sample_disjoint_case(rng: &mut StdRng, seed: u64) -> TrafficCase {
+    let cluster_nodes = 8u32;
+    let ppn = pick(rng, &[1u32, 2]);
+    let tenants = rng.gen_range(2..=3u32);
+    // Block widths that always fit: 2..=8/tenants nodes each.
+    let max_w = cluster_nodes / tenants;
+    let mut jobs = Vec::new();
+    let mut next_node = 0u32;
+    for tenant in 0..tenants {
+        let w = rng.gen_range(2..=max_w.max(2));
+        let nodes: Vec<u32> = (next_node..next_node + w).collect();
+        next_node += w;
+        let chained = rng.gen_range(0..2u32) == 0;
+        let count = rng.gen_range(1..=3u32);
+        let mut prev: Option<u32> = None;
+        let mut arrival = 0.0f64;
+        for _ in 0..count {
+            let id = jobs.len() as u32;
+            let (release, after) = if chained {
+                let think = rng.gen_range(0.0..5e-5);
+                (if prev.is_some() { think } else { 0.0 }, prev)
+            } else {
+                arrival += rng.gen_range(0.0..1e-4);
+                (arrival, None)
+            };
+            jobs.push(JobSpec {
+                id,
+                tenant,
+                cfg: sample_cfg(rng, w, ppn),
+                msg: pick(rng, &[1usize << 10, 1 << 12, 1 << 14]),
+                nodes: nodes.clone(),
+                release,
+                after,
+            });
+            prev = Some(id);
+        }
+    }
+    TrafficCase {
+        spec: TrafficSpec {
+            cluster: ClusterSpec::thor(),
+            nodes: cluster_nodes,
+            ppn,
+            arrival: Arrival::Trace(vec![0.0]),
+            mix: WorkloadMix::paper_default(cluster_nodes),
+            policy: PlacementPolicy::Packed,
+            tenants,
+            seed,
+        },
+        jobs,
+        disjoint: true,
+    }
+}
+
+/// Draws a **contended** case: a seeded random scenario whose placements
+/// may overlap arbitrarily.
+fn sample_contended_case(rng: &mut StdRng, seed: u64) -> TrafficCase {
+    let nodes = pick(rng, &[4u32, 8]);
+    let ppn = pick(rng, &[1u32, 2]);
+    let arrival = match rng.gen_range(0..3u32) {
+        0 => Arrival::Closed {
+            clients: rng.gen_range(2..=3),
+            jobs_per_client: rng.gen_range(1..=3),
+            think: rng.gen_range(0.0..5e-5),
+        },
+        1 => Arrival::Poisson {
+            rate_hz: 10f64.powf(rng.gen_range(3.0..4.8)),
+            jobs: rng.gen_range(3..=8),
+        },
+        _ => Arrival::Trace(
+            (0..rng.gen_range(3..=6u32))
+                .map(|i| f64::from(i) * 2e-5)
+                .collect(),
+        ),
+    };
+    let spec = TrafficSpec {
+        cluster: ClusterSpec::thor(),
+        nodes,
+        ppn,
+        arrival,
+        mix: WorkloadMix::paper_default(nodes),
+        policy: pick(
+            rng,
+            &[
+                PlacementPolicy::Packed,
+                PlacementPolicy::Striped,
+                PlacementPolicy::Random,
+            ],
+        ),
+        tenants: rng.gen_range(2..=4),
+        seed,
+    };
+    let jobs = sample_jobs(&spec);
+    TrafficCase {
+        spec,
+        jobs,
+        disjoint: false,
+    }
+}
+
+/// Draws one traffic case: even indices disjoint, odd contended.
+pub fn sample_traffic_case(rng: &mut StdRng, index: usize) -> TrafficCase {
+    let seed = rng.gen_range(0..u64::MAX);
+    if index.is_multiple_of(2) {
+        sample_disjoint_case(rng, seed)
+    } else {
+        sample_contended_case(rng, seed)
+    }
+}
+
+/// The aggregate-accounting audit: no resource may carry more bytes than
+/// `capacity × makespan` (tiny relative slack for summation roundoff).
+fn check_capacity(report: &TrafficReport) -> Result<(), String> {
+    for r in &report.resources {
+        let budget = r.capacity * report.makespan;
+        if r.bytes > budget * (1.0 + 1e-6) + 1e-9 {
+            return Err(format!(
+                "resource {} carried {:.6e} bytes but capacity x makespan is {:.6e}",
+                r.label, r.bytes, budget
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks one traffic case end to end (see the module docs for the bars).
+pub fn check_traffic_case(case: &TrafficCase) -> Result<(), String> {
+    let mut build = default_builder(&case.spec);
+    let merged = run_jobs(&case.spec, &case.jobs, &mut build)?;
+    check_capacity(&merged)?;
+
+    if !case.disjoint {
+        return Ok(());
+    }
+    for tenant in 0..case.spec.tenant_count() {
+        let subset = tenant_jobs(&case.jobs, tenant);
+        if subset.is_empty() {
+            continue;
+        }
+        let solo = run_jobs(&case.spec, &subset, &mut build)?;
+        check_capacity(&solo)?;
+        for sr in &solo.jobs {
+            let mr = merged
+                .jobs
+                .iter()
+                .find(|r| r.job.id == sr.job.id)
+                .ok_or_else(|| format!("job {} missing from merged run", sr.job.id))?;
+            if sr.end.to_bits() != mr.end.to_bits() || sr.arrival.to_bits() != mr.arrival.to_bits()
+            {
+                return Err(format!(
+                    "disjoint tenant {tenant} job {} diverged: solo ({:.17e}, {:.17e}) vs merged ({:.17e}, {:.17e})",
+                    sr.job.id, sr.arrival, sr.end, mr.arrival, mr.end
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of a traffic-oracle sweep.
+#[derive(Debug)]
+pub struct TrafficOracleReport {
+    /// Traffic cases checked.
+    pub cases: usize,
+    /// Human-readable description of every disagreement (empty = pass).
+    pub disagreements: Vec<String>,
+}
+
+impl TrafficOracleReport {
+    /// Whether every case isolated and accounted cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Runs the tenant-oracle sweep: `cfg.cases` seeded scenarios, alternating
+/// disjoint and contended shapes, with the engine's invariant audit armed
+/// for the duration (a violation panics the sweep).
+///
+/// Cases are pre-sampled sequentially from the seeded RNG, fanned across
+/// the campaign worker pool (`MHA_CAMPAIGN_WORKERS`), and reassembled in
+/// case order — the report is independent of pool width.
+pub fn run_traffic_oracle(cfg: &TrafficOracleConfig) -> TrafficOracleReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cases: Vec<TrafficCase> = (0..cfg.cases)
+        .map(|i| sample_traffic_case(&mut rng, i))
+        .collect();
+
+    mha_simnet::set_check_enabled(Some(true));
+    let points: Vec<CampaignPoint> = cases
+        .into_iter()
+        .map(|case| {
+            let label = case.describe();
+            CampaignPoint::custom(label, move |_seed| {
+                Ok(vec![match check_traffic_case(&case) {
+                    Ok(()) => Row::new("ok", vec![1.0]),
+                    Err(e) => Row::note(case.describe(), e),
+                }])
+            })
+        })
+        .collect();
+    let mut pool = CampaignConfig::from_env();
+    pool.reps = 1;
+    let report = run_campaign(&points, &pool).expect("traffic-oracle pool failed");
+    mha_simnet::set_check_enabled(None);
+
+    let mut disagreements = Vec::new();
+    for pr in &report.results {
+        for row in &pr.rows {
+            if let Some(e) = &row.note {
+                disagreements.push(format!("traffic case {} [{}]: {e}", pr.point, row.label));
+            }
+        }
+    }
+    TrafficOracleReport {
+        cases: cfg.cases,
+        disagreements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_disjoint_case_isolates_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let case = sample_traffic_case(&mut rng, 0);
+        assert!(case.disjoint);
+        check_traffic_case(&case).unwrap();
+    }
+
+    #[test]
+    fn a_contended_case_stays_within_capacity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let case = sample_traffic_case(&mut rng, 1);
+        assert!(!case.disjoint);
+        check_traffic_case(&case).unwrap();
+    }
+
+    #[test]
+    fn config_defaults_meet_the_acceptance_bar() {
+        let cfg = TrafficOracleConfig::default();
+        assert!(cfg.cases >= 100);
+        assert_eq!(cfg.seed, 0x7EA7);
+    }
+}

@@ -1,0 +1,23 @@
+//! The tenant-oracle acceptance bar.
+//!
+//! ≥ 100 seeded multi-tenant traffic scenarios, alternating hand-built
+//! disjoint placements with random contended ones, must all pass with
+//! the engine's invariant audit armed: disjoint tenants finish
+//! bit-identically to their solo runs, and no simulator resource ever
+//! carries more bytes than `capacity × makespan`.
+
+use mha_conformance::{run_traffic_oracle, TrafficOracleConfig};
+
+#[test]
+fn traffic_oracle_sweep_has_zero_disagreements() {
+    let cfg = TrafficOracleConfig::from_env();
+    assert!(cfg.cases >= 100, "acceptance bar requires >= 100 cases");
+    let report = run_traffic_oracle(&cfg);
+    assert_eq!(report.cases, cfg.cases);
+    assert!(
+        report.is_clean(),
+        "{} disagreement(s):\n{}",
+        report.disagreements.len(),
+        report.disagreements.join("\n")
+    );
+}

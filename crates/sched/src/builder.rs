@@ -17,6 +17,7 @@ pub struct ScheduleBuilder {
     buffers: Vec<BufferDecl>,
     ops: Vec<Op>,
     name: String,
+    release: Vec<f64>,
 }
 
 impl ScheduleBuilder {
@@ -27,7 +28,33 @@ impl ScheduleBuilder {
             buffers: Vec::new(),
             ops: Vec::new(),
             name: name.into(),
+            release: Vec::new(),
         }
+    }
+
+    /// Sets the release delay of `op`: it may not start before
+    /// `ready + alpha + secs` of simulated time. The traffic layer models
+    /// job arrival times and client think times with this; plain collective
+    /// schedules never set it. Virtual-time only — the real executors
+    /// run ops as soon as their dependencies complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not created yet or `secs` is negative or
+    /// non-finite.
+    pub fn set_release(&mut self, op: OpId, secs: f64) {
+        assert!(op.index() < self.ops.len(), "release for unknown op {op}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "release delay must be finite and non-negative, got {secs}"
+        );
+        if secs == 0.0 && self.release.is_empty() {
+            return; // stay on the release-free fast path
+        }
+        if self.release.is_empty() {
+            self.release.resize(self.ops.len(), 0.0);
+        }
+        self.release[op.index()] = secs;
     }
 
     /// The grid being scheduled against.
@@ -232,8 +259,12 @@ impl ScheduleBuilder {
     }
 
     /// Finalizes the schedule.
-    pub fn finish(self) -> Schedule {
-        Schedule::from_parts(self.grid, self.buffers, self.ops, self.name)
+    pub fn finish(mut self) -> Schedule {
+        // `set_release` may have run before trailing ops were pushed.
+        if !self.release.is_empty() {
+            self.release.resize(self.ops.len(), 0.0);
+        }
+        Schedule::from_parts(self.grid, self.buffers, self.ops, self.name, self.release)
     }
 }
 

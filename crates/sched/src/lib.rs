@@ -48,8 +48,10 @@ mod frozen;
 mod grid;
 mod ids;
 pub mod invariant;
+mod merge;
 mod op;
 pub mod probe;
+mod relocate;
 pub mod runtime;
 mod schedule;
 mod topology;
@@ -62,11 +64,13 @@ pub use frozen::{FrozenSchedule, OpClass, OpRow};
 pub use grid::ProcGrid;
 pub use ids::{BufId, GroupId, NodeId, OpId, RankId};
 pub use invariant::{InvariantProbe, Violation};
+pub use merge::{merge_parts, MergeError, MergePart, Merged};
 pub use op::{Channel, DType, Op, OpKind, RailSet, RedOp};
 pub use probe::{
     intersection_length, union_length, JsonlProbe, NullProbe, Probe, ResourceUtil, RunSummary,
     SummaryProbe, Tee,
 };
+pub use relocate::{relocate_onto, validate_placement, RelocateError};
 pub use runtime::{AtomicReadySet, ReadySet};
 pub use schedule::{Schedule, ScheduleStats};
 pub use topology::{TopoLevel, Topology};

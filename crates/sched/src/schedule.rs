@@ -41,6 +41,12 @@ pub struct Schedule {
     ops: Vec<Op>,
     /// Human-readable name of the algorithm that produced this schedule.
     name: String,
+    /// Per-op release delays in seconds (empty ⇒ all zero): op `i` may not
+    /// start before `ready(i) + alpha(i) + release[i]`. The multi-tenant
+    /// traffic layer uses this to model job arrival times (on the roots of
+    /// an open-loop job) and client think times (on the roots of a chained
+    /// closed-loop job). Virtual-time only — the real executors ignore it.
+    release: Vec<f64>,
 }
 
 impl Schedule {
@@ -51,13 +57,29 @@ impl Schedule {
         buffers: Vec<BufferDecl>,
         ops: Vec<Op>,
         name: String,
+        release: Vec<f64>,
     ) -> Self {
+        debug_assert!(release.is_empty() || release.len() == ops.len());
         Schedule {
             grid,
             buffers,
             ops,
             name,
+            release,
         }
+    }
+
+    /// The release delay of `id` in seconds — `0.0` unless a delay was set
+    /// through [`crate::builder::ScheduleBuilder::set_release`].
+    #[inline]
+    pub fn release_of(&self, id: OpId) -> f64 {
+        self.release.get(id.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Whether any op carries a non-zero release delay.
+    #[inline]
+    pub fn has_releases(&self) -> bool {
+        !self.release.is_empty()
     }
 
     /// The process layout this schedule was built for.

@@ -1138,7 +1138,12 @@ impl Simulator {
         for &i in sch.roots() {
             probe.op_ready(i, 0.0);
             let alpha = self.op_alpha(sch, i as usize);
-            st.push_event(alpha, Ev::Start { op: i });
+            // Release delays (job arrival / think times from the traffic
+            // layer) hold the start back; the guard keeps release-free
+            // schedules on the exact `alpha` the engine always used.
+            let rel = sch.release_of(mha_sched::OpId(i));
+            let start = if rel > 0.0 { alpha + rel } else { alpha };
+            st.push_event(start, Ev::Start { op: i });
         }
 
         let mut events = 0u64;
@@ -1487,7 +1492,13 @@ impl Simulator {
         ready.complete(sch, op, |s| {
             probe.op_ready(s, time);
             let alpha = self.op_alpha(sch, s as usize);
-            st.push_event(time + alpha, Ev::Start { op: s });
+            let rel = sch.release_of(mha_sched::OpId(s));
+            let start = if rel > 0.0 {
+                time + alpha + rel
+            } else {
+                time + alpha
+            };
+            st.push_event(start, Ev::Start { op: s });
         });
     }
 

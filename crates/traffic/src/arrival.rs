@@ -1,0 +1,259 @@
+//! Arrival processes: when jobs enter the shared cluster.
+//!
+//! [`sample_jobs`] expands a [`TrafficSpec`](crate::TrafficSpec) into a
+//! concrete job list — a pure function of the spec (seed included), so the
+//! same spec always yields byte-identical job streams regardless of
+//! worker counts or host. Two shapes are supported:
+//!
+//! * **open loop** — [`Arrival::Poisson`] / [`Arrival::Trace`]: jobs carry
+//!   absolute arrival times, independent of completions. Arrival time is
+//!   realized as a release delay on the job's root ops.
+//! * **closed loop** — [`Arrival::Closed`]: `clients` clients each submit
+//!   `jobs_per_client` jobs back-to-back; job `k+1` *chains* on job `k`
+//!   (its roots depend on the predecessor's sinks) plus a think-time
+//!   release, so the feedback loop is encoded in the merged DAG and needs
+//!   no iteration to resolve.
+
+use mha_collectives::AlgoConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::placement::place;
+use crate::TrafficSpec;
+
+/// The arrival process of one traffic scenario.
+#[derive(Debug, Clone)]
+pub enum Arrival {
+    /// Closed loop: `clients` clients, each a serial chain of
+    /// `jobs_per_client` jobs separated by `think` seconds.
+    Closed {
+        /// Concurrent clients (= tenants).
+        clients: u32,
+        /// Jobs each client submits, one after the other.
+        jobs_per_client: u32,
+        /// Seconds between a completion and the next submission.
+        think: f64,
+    },
+    /// Open loop: Poisson arrivals at `rate_hz` jobs/second, `jobs` total.
+    Poisson {
+        /// Mean arrival rate in jobs per second (the offered load knob).
+        rate_hz: f64,
+        /// Number of jobs to draw.
+        jobs: u32,
+    },
+    /// Open loop: explicit arrival times in seconds (trace-driven).
+    Trace(Vec<f64>),
+}
+
+/// One concrete job of a sampled traffic scenario.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Dense job id (index into the sampled stream).
+    pub id: u32,
+    /// Tenant the job belongs to (client id for closed loop).
+    pub tenant: u32,
+    /// The collective to run, already coerced onto the job grid.
+    pub cfg: AlgoConfig,
+    /// Per-rank contribution in bytes.
+    pub msg: usize,
+    /// Cluster nodes the job occupies (distinct, placement order).
+    pub nodes: Vec<u32>,
+    /// Release delay in seconds: absolute arrival time for unchained
+    /// jobs (ready at t=0), think time past the predecessor's completion
+    /// for chained ones.
+    pub release: f64,
+    /// Id of the job this one chains on (same tenant, smaller id).
+    pub after: Option<u32>,
+}
+
+impl JobSpec {
+    /// The job's own process grid (`nodes.len() × ppn`).
+    pub fn grid(&self, ppn: u32) -> mha_sched::ProcGrid {
+        mha_sched::ProcGrid::new(self.nodes.len() as u32, ppn)
+    }
+
+    /// Payload bytes the collective delivers (per-rank contribution times
+    /// rank count) — the unit of the throughput metrics.
+    pub fn payload(&self, ppn: u32) -> f64 {
+        self.msg as f64 * (self.nodes.len() as u32 * ppn) as f64
+    }
+
+    /// A short, greppable description (determinism tests byte-compare it).
+    pub fn describe(&self) -> String {
+        format!(
+            "job={} tenant={} cfg={} msg={} nodes={:?} release={:e} after={:?}",
+            self.id,
+            self.tenant,
+            self.cfg.to_kv(),
+            self.msg,
+            self.nodes,
+            self.release,
+            self.after
+        )
+    }
+}
+
+/// Expands `spec` into its deterministic job stream.
+///
+/// # Panics
+///
+/// Panics on malformed specs (zero clients/jobs, non-finite rates or
+/// think times, negative trace times) — traffic specs are programmer
+/// input, not user data.
+pub fn sample_jobs(spec: &TrafficSpec) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut jobs = Vec::new();
+    match &spec.arrival {
+        Arrival::Closed {
+            clients,
+            jobs_per_client,
+            think,
+        } => {
+            assert!(*clients >= 1 && *jobs_per_client >= 1, "empty closed loop");
+            assert!(think.is_finite() && *think >= 0.0, "bad think time");
+            for client in 0..*clients {
+                // One allocation per client: the chain stays on its nodes.
+                let (_, width0, _) = spec.mix.sample(spec.ppn, &mut rng);
+                let nodes = place(spec.policy, spec.nodes, width0, &mut rng);
+                let mut prev: Option<u32> = None;
+                for _ in 0..*jobs_per_client {
+                    let grid = mha_sched::ProcGrid::new(width0, spec.ppn);
+                    let (cfg, _, msg) = spec.mix.sample(spec.ppn, &mut rng);
+                    let id = jobs.len() as u32;
+                    jobs.push(JobSpec {
+                        id,
+                        tenant: client,
+                        cfg: cfg.coerce_for(grid),
+                        msg,
+                        nodes: nodes.clone(),
+                        release: if prev.is_some() { *think } else { 0.0 },
+                        after: prev,
+                    });
+                    prev = Some(id);
+                }
+            }
+        }
+        Arrival::Poisson { rate_hz, jobs: n } => {
+            assert!(rate_hz.is_finite() && *rate_hz > 0.0, "bad Poisson rate");
+            assert!(*n >= 1, "empty Poisson stream");
+            let mut t = 0.0f64;
+            for i in 0..*n {
+                t += -(1.0 - rng.gen_f64()).ln() / rate_hz;
+                push_open_job(spec, &mut rng, &mut jobs, i, t);
+            }
+        }
+        Arrival::Trace(times) => {
+            assert!(!times.is_empty(), "empty trace");
+            for (i, &t) in times.iter().enumerate() {
+                assert!(t.is_finite() && t >= 0.0, "bad trace time {t}");
+                push_open_job(spec, &mut rng, &mut jobs, i as u32, t);
+            }
+        }
+    }
+    jobs
+}
+
+fn push_open_job(
+    spec: &TrafficSpec,
+    rng: &mut StdRng,
+    jobs: &mut Vec<JobSpec>,
+    i: u32,
+    arrival: f64,
+) {
+    let (cfg, width, msg) = spec.mix.sample(spec.ppn, rng);
+    let nodes = place(spec.policy, spec.nodes, width, rng);
+    jobs.push(JobSpec {
+        id: i,
+        tenant: i % spec.tenants.max(1),
+        cfg,
+        msg,
+        nodes,
+        release: arrival,
+        after: None,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadMix;
+    use crate::PlacementPolicy;
+    use mha_simnet::ClusterSpec;
+
+    fn spec(arrival: Arrival, seed: u64) -> TrafficSpec {
+        TrafficSpec {
+            cluster: ClusterSpec::thor(),
+            nodes: 8,
+            ppn: 4,
+            arrival,
+            mix: WorkloadMix::paper_default(8),
+            policy: PlacementPolicy::Random,
+            tenants: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn closed_loops_chain_per_client() {
+        let jobs = sample_jobs(&spec(
+            Arrival::Closed {
+                clients: 3,
+                jobs_per_client: 4,
+                think: 1e-3,
+            },
+            9,
+        ));
+        assert_eq!(jobs.len(), 12);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id as usize, i);
+            assert_eq!(j.tenant, (i / 4) as u32);
+            if i % 4 == 0 {
+                assert_eq!(j.after, None);
+                assert_eq!(j.release, 0.0);
+            } else {
+                assert_eq!(j.after, Some(j.id - 1));
+                assert_eq!(j.release, 1e-3);
+                // Chains stay on their client's allocation.
+                assert_eq!(j.nodes, jobs[i - 1].nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_increase_and_depend_on_seed() {
+        let draw = |seed| {
+            sample_jobs(&spec(
+                Arrival::Poisson {
+                    rate_hz: 1e4,
+                    jobs: 10,
+                },
+                seed,
+            ))
+        };
+        let a = draw(1);
+        assert!(a.windows(2).all(|w| w[0].release < w[1].release));
+        assert!(a.iter().all(|j| j.after.is_none()));
+        assert_eq!(a[4].tenant, 4 % 3);
+        let b = draw(2);
+        assert_ne!(
+            a.iter().map(|j| j.release.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|j| j.release.to_bits()).collect::<Vec<_>>(),
+            "different seeds must move the arrival sequence"
+        );
+        let a2 = draw(1);
+        assert_eq!(
+            a.iter().map(JobSpec::describe).collect::<Vec<_>>(),
+            a2.iter().map(JobSpec::describe).collect::<Vec<_>>(),
+            "same seed must reproduce the stream byte-identically"
+        );
+    }
+
+    #[test]
+    fn traces_are_taken_verbatim() {
+        let jobs = sample_jobs(&spec(Arrival::Trace(vec![0.0, 5e-4, 5e-4, 2e-3]), 4));
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs.iter().map(|j| j.release).collect::<Vec<_>>(),
+            vec![0.0, 5e-4, 5e-4, 2e-3]
+        );
+    }
+}

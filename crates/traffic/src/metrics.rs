@@ -1,0 +1,177 @@
+//! Tenant-facing metrics: latency percentiles, throughput, fairness.
+//!
+//! Everything here is a pure function of a [`TrafficReport`], and every
+//! CSV emitter formats floats with Rust's shortest-roundtrip `Display` —
+//! identical simulations yield byte-identical files, which is what the
+//! determinism suite and the CI worker-count byte-diff pin down.
+
+use crate::run::TrafficReport;
+
+/// Nearest-rank percentile (`p` in 0..=100) of an ascending-sorted slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice or a `p` outside 0..=100.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of nothing");
+    assert!((0.0..=100.0).contains(&p), "bad percentile {p}");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` — 1 when all shares are
+/// equal, `1/n` when one tenant takes everything. Tenants with zero
+/// share count; an all-zero (or empty) vector reports 1 (nothing was
+/// contended, nothing was unfair).
+pub fn jain(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n * sq)
+    }
+}
+
+/// One tenant's aggregate view of a traffic run.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Jobs the tenant completed.
+    pub jobs: usize,
+    /// Median job latency in seconds.
+    pub p50: f64,
+    /// 95th-percentile job latency.
+    pub p95: f64,
+    /// 99th-percentile job latency.
+    pub p99: f64,
+    /// Mean job latency.
+    pub mean: f64,
+    /// Payload bytes delivered (per-rank contribution × ranks, summed).
+    pub bytes: f64,
+    /// Delivered bytes per second over the run's makespan.
+    pub throughput: f64,
+}
+
+/// Per-tenant stats of a run, one entry per declared tenant (tenants
+/// with no jobs report zeros). `ppn` is the cluster's processes per
+/// node, needed to turn message sizes into payload bytes.
+pub fn tenant_stats(report: &TrafficReport, ppn: u32) -> Vec<TenantStats> {
+    (0..report.tenants)
+        .map(|t| {
+            let mut lat: Vec<f64> = report
+                .jobs
+                .iter()
+                .filter(|r| r.job.tenant == t)
+                .map(|r| r.latency())
+                .collect();
+            lat.sort_by(f64::total_cmp);
+            let bytes: f64 = report
+                .jobs
+                .iter()
+                .filter(|r| r.job.tenant == t)
+                .map(|r| r.job.payload(ppn))
+                .sum();
+            if lat.is_empty() {
+                TenantStats {
+                    tenant: t,
+                    jobs: 0,
+                    p50: 0.0,
+                    p95: 0.0,
+                    p99: 0.0,
+                    mean: 0.0,
+                    bytes: 0.0,
+                    throughput: 0.0,
+                }
+            } else {
+                TenantStats {
+                    tenant: t,
+                    jobs: lat.len(),
+                    p50: percentile(&lat, 50.0),
+                    p95: percentile(&lat, 95.0),
+                    p99: percentile(&lat, 99.0),
+                    mean: lat.iter().sum::<f64>() / lat.len() as f64,
+                    bytes,
+                    throughput: if report.makespan > 0.0 {
+                        bytes / report.makespan
+                    } else {
+                        0.0
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+/// Jain's fairness index over the tenants' delivered throughputs.
+pub fn tenant_fairness(stats: &[TenantStats]) -> f64 {
+    jain(&stats.iter().map(|s| s.throughput).collect::<Vec<_>>())
+}
+
+/// One row per job: the run's raw trace, byte-stable per seed.
+pub fn job_trace_csv(report: &TrafficReport) -> String {
+    let mut out = String::from("job,tenant,cfg,msg,nodes,arrival_s,end_s,latency_s\n");
+    for r in &report.jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.job.id,
+            r.job.tenant,
+            r.job.cfg.to_kv().replace(',', ";"),
+            r.job.msg,
+            r.job
+                .nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            r.arrival,
+            r.end,
+            r.latency()
+        ));
+    }
+    out
+}
+
+/// One row per tenant: the percentile/throughput summary plus the run's
+/// fairness index repeated per row (flat CSV, no footer parsing needed).
+pub fn tenant_csv(stats: &[TenantStats]) -> String {
+    let fairness = tenant_fairness(stats);
+    let mut out = String::from("tenant,jobs,p50_s,p95_s,p99_s,mean_s,bytes,throughput_bps,jain\n");
+    for s in stats {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            s.tenant, s.jobs, s.p50, s.p95, s.p99, s.mean, s.bytes, s.throughput, fairness
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+        assert_eq!(percentile(&xs, 95.0), 10.0);
+        assert_eq!(percentile(&xs, 99.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 10.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        let j = jain(&[3.0, 1.0]);
+        assert!(j > 0.25 && j < 1.0);
+    }
+}

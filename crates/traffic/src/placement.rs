@@ -1,0 +1,139 @@
+//! Placement policies: which cluster nodes a job occupies.
+//!
+//! Placements are **whole-node**: a job asking for `w` nodes receives `w`
+//! distinct cluster nodes (at the cluster's ppn) and shares them with any
+//! other job placed on overlapping nodes — sharing is how cross-job
+//! contention arises, so policies never queue or reject, they only choose
+//! *where*. The mechanical half (rank/buffer remapping) is
+//! [`mha_sched::relocate_onto`].
+
+use mha_sched::{Fingerprinter, ProcGrid};
+use rand::{rngs::StdRng, Rng};
+
+/// How a job's node subset is chosen from the shared cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// The first `w` nodes: `0, 1, …, w-1`. Maximizes overlap between
+    /// concurrent jobs (worst-case interference).
+    Packed,
+    /// Evenly spread: node `i` of the job lands on cluster node
+    /// `⌊i · C / w⌋`. Jobs of equal width collide; different widths
+    /// interleave.
+    Striped,
+    /// A uniform random `w`-subset (sorted), drawn from the traffic
+    /// spec's seeded generator — distinct jobs usually overlap partially.
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Stable lower-case token (CSV labels, CLI flags).
+    pub fn token(self) -> &'static str {
+        match self {
+            PlacementPolicy::Packed => "packed",
+            PlacementPolicy::Striped => "striped",
+            PlacementPolicy::Random => "random",
+        }
+    }
+}
+
+/// Chooses `want` distinct nodes of a `cluster_nodes`-node cluster under
+/// `policy`. `rng` is consumed **only** by [`PlacementPolicy::Random`] —
+/// deterministic policies leave the arrival stream's generator untouched.
+///
+/// # Panics
+///
+/// Panics if `want` is zero or exceeds `cluster_nodes`.
+pub fn place(policy: PlacementPolicy, cluster_nodes: u32, want: u32, rng: &mut StdRng) -> Vec<u32> {
+    assert!(
+        want >= 1 && want <= cluster_nodes,
+        "cannot place {want} nodes on a {cluster_nodes}-node cluster"
+    );
+    match policy {
+        PlacementPolicy::Packed => (0..want).collect(),
+        PlacementPolicy::Striped => (0..want)
+            .map(|i| ((i as u64 * cluster_nodes as u64) / want as u64) as u32)
+            .collect(),
+        PlacementPolicy::Random => {
+            // Partial Fisher–Yates over 0..cluster_nodes.
+            let mut pool: Vec<u32> = (0..cluster_nodes).collect();
+            for i in 0..want as usize {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let mut picked = pool[..want as usize].to_vec();
+            picked.sort_unstable();
+            picked
+        }
+    }
+}
+
+/// A stable 64-bit digest of one placement on one cluster grid — the
+/// schedule-cache discriminant (`ConfigKey::with_placement` in
+/// `mha-bench`) that keeps two jobs with the same `AlgoConfig` but
+/// different node subsets from ever aliasing a cache entry.
+pub fn placement_digest(cluster: ProcGrid, nodes: &[u32]) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.push_u32(cluster.nodes())
+        .push_u32(cluster.ppn())
+        .push_usize(nodes.len());
+    for &n in nodes {
+        fp.push_u32(n);
+    }
+    fp.finish().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_and_striped_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            place(PlacementPolicy::Packed, 8, 3, &mut rng),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            place(PlacementPolicy::Striped, 8, 3, &mut rng),
+            vec![0, 2, 5]
+        );
+        assert_eq!(
+            place(PlacementPolicy::Striped, 8, 8, &mut rng),
+            (0..8).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_placements_are_distinct_sorted_and_seed_stable() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            place(PlacementPolicy::Random, 16, 6, &mut rng)
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed must redraw the same subset");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "sorted + distinct: {a:?}"
+        );
+        assert!(a.iter().all(|&n| n < 16));
+        assert_ne!(a, draw(8), "different seeds should move the subset");
+    }
+
+    #[test]
+    fn digest_separates_cluster_and_subset() {
+        let g = ProcGrid::new(8, 4);
+        let d = placement_digest(g, &[0, 1, 2]);
+        assert_eq!(d, placement_digest(g, &[0, 1, 2]));
+        assert_ne!(d, placement_digest(g, &[0, 1, 3]));
+        assert_ne!(d, placement_digest(ProcGrid::new(16, 4), &[0, 1, 2]));
+        assert_ne!(d, placement_digest(ProcGrid::new(8, 2), &[0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn oversized_requests_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        place(PlacementPolicy::Packed, 4, 5, &mut rng);
+    }
+}

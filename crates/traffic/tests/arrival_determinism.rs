@@ -1,0 +1,106 @@
+//! Satellite property: traffic scenarios are deterministic functions of
+//! their seed — and of nothing else.
+//!
+//! * Same seed ⇒ byte-identical job traces and per-tenant percentile
+//!   CSVs, whether the offered-load campaign runs on 1, 2 or 8 workers.
+//! * Different seeds ⇒ distinct arrival sequences (times, placements).
+
+use mha_bench::campaign::CampaignConfig;
+use mha_bench::traffic::{offered_load_table, TrafficSweep};
+use mha_simnet::ClusterSpec;
+use mha_traffic::{
+    job_trace_csv, run_traffic, sample_jobs, tenant_csv, tenant_stats, Arrival, PlacementPolicy,
+    TrafficSpec, WorkloadMix,
+};
+
+fn spec(seed: u64) -> TrafficSpec {
+    TrafficSpec {
+        cluster: ClusterSpec::thor(),
+        nodes: 8,
+        ppn: 2,
+        arrival: Arrival::Poisson {
+            rate_hz: 2.0e4,
+            jobs: 12,
+        },
+        mix: WorkloadMix::paper_default(8),
+        policy: PlacementPolicy::Random,
+        tenants: 3,
+        seed,
+    }
+}
+
+#[test]
+fn same_seed_reproduces_traces_and_csvs_byte_identically() {
+    let s = spec(0xA11);
+    let r1 = run_traffic(&s).unwrap();
+    let r2 = run_traffic(&s).unwrap();
+    assert_eq!(
+        job_trace_csv(&r1),
+        job_trace_csv(&r2),
+        "job trace must be byte-stable under the same seed"
+    );
+    assert_eq!(
+        tenant_csv(&tenant_stats(&r1, s.ppn)),
+        tenant_csv(&tenant_stats(&r2, s.ppn)),
+        "tenant percentile CSV must be byte-stable under the same seed"
+    );
+    assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+}
+
+#[test]
+fn different_seeds_draw_distinct_arrival_sequences() {
+    let a = sample_jobs(&spec(1));
+    let b = sample_jobs(&spec(2));
+    assert_eq!(a.len(), b.len());
+    let releases =
+        |js: &[mha_traffic::JobSpec]| js.iter().map(|j| j.release.to_bits()).collect::<Vec<_>>();
+    assert_ne!(
+        releases(&a),
+        releases(&b),
+        "different seeds must move the arrival times"
+    );
+    let described =
+        |js: &[mha_traffic::JobSpec]| js.iter().map(|j| j.describe()).collect::<Vec<_>>();
+    assert_ne!(described(&a), described(&b));
+}
+
+#[test]
+fn offered_load_campaign_is_byte_identical_across_worker_counts() {
+    let sweep = TrafficSweep {
+        jobs: 10,
+        loads_hz: vec![2.0e3, 1.6e4],
+        ..TrafficSweep::thor_default()
+    };
+    let csvs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            offered_load_table(&sweep, &CampaignConfig::default().with_workers(w))
+                .unwrap()
+                .to_csv()
+        })
+        .collect();
+    assert_eq!(csvs[0], csvs[1], "1 vs 2 workers diverged");
+    assert_eq!(csvs[0], csvs[2], "1 vs 8 workers diverged");
+    assert!(csvs[0].contains("p99_us") && csvs[0].contains("jain"));
+}
+
+#[test]
+fn campaign_seed_moves_the_table() {
+    let sweep = TrafficSweep {
+        jobs: 8,
+        loads_hz: vec![8.0e3],
+        ..TrafficSweep::thor_default()
+    };
+    let at_seed = |seed| {
+        let cfg = CampaignConfig {
+            seed,
+            ..CampaignConfig::default()
+        };
+        offered_load_table(&sweep, &cfg).unwrap().to_csv()
+    };
+    assert_ne!(
+        at_seed(0),
+        at_seed(1),
+        "campaign seed must reach the scenario"
+    );
+}

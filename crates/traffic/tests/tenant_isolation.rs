@@ -1,0 +1,136 @@
+//! Satellite property: tenant isolation and contention monotonicity.
+//!
+//! * Tenants placed on **disjoint** node blocks finish bit-identically to
+//!   running each tenant's jobs alone on the same cluster — sharing an
+//!   engine instance must be unobservable without shared resources.
+//! * Jobs on **overlapping** placements never finish *earlier* than the
+//!   same job running solo: contention can only slow a job down.
+
+use mha_collectives::AlgoConfig;
+use mha_simnet::ClusterSpec;
+use mha_traffic::{
+    default_builder, run_jobs, tenant_jobs, Arrival, JobSpec, PlacementPolicy, TrafficSpec,
+    WorkloadMix,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A spec whose cluster/ppn drive `default_builder`; the arrival fields are
+/// unused because jobs are hand-built below.
+fn harness(ppn: u32, tenants: u32) -> TrafficSpec {
+    TrafficSpec {
+        cluster: ClusterSpec::thor(),
+        nodes: 8,
+        ppn,
+        arrival: Arrival::Trace(Vec::new()),
+        mix: WorkloadMix::paper_default(8),
+        policy: PlacementPolicy::Packed,
+        tenants,
+        seed: 0,
+    }
+}
+
+/// Hand-build tenants on provably disjoint contiguous 2-node blocks.
+fn disjoint_jobs(spec: &TrafficSpec, rng: &mut StdRng) -> Vec<JobSpec> {
+    let mix = WorkloadMix::paper_default(2);
+    let mut jobs = Vec::new();
+    for tenant in 0..spec.tenants {
+        let base = tenant * 2;
+        let count = rng.gen_range(1..=2u32);
+        for _ in 0..count {
+            let (cfg, width, msg) = mix.sample(spec.ppn, rng);
+            assert_eq!(width, 2, "paper_default(2) only emits 2-node jobs");
+            jobs.push(JobSpec {
+                id: jobs.len() as u32,
+                tenant,
+                cfg,
+                msg,
+                nodes: (base..base + 2).collect(),
+                release: rng.gen_range(0.0..5e-5),
+                after: None,
+            });
+        }
+    }
+    jobs
+}
+
+#[test]
+fn disjoint_tenants_are_bitwise_isolated() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x150_0000 + seed);
+        let ppn = if seed % 2 == 0 { 1 } else { 2 };
+        let spec = harness(ppn, 3);
+        let jobs = disjoint_jobs(&spec, &mut rng);
+
+        let merged = run_jobs(&spec, &jobs, &mut default_builder(&spec)).unwrap();
+        for tenant in 0..spec.tenants {
+            let mine = tenant_jobs(&jobs, tenant);
+            let solo = run_jobs(&spec, &mine, &mut default_builder(&spec)).unwrap();
+            for rec in &solo.jobs {
+                let shared = merged
+                    .jobs
+                    .iter()
+                    .find(|r| r.job.id == rec.job.id)
+                    .expect("job present in merged run");
+                assert_eq!(
+                    shared.arrival.to_bits(),
+                    rec.arrival.to_bits(),
+                    "seed {seed} tenant {tenant} job {}: arrival drifted",
+                    rec.job.id
+                );
+                assert_eq!(
+                    shared.end.to_bits(),
+                    rec.end.to_bits(),
+                    "seed {seed} tenant {tenant} job {}: disjoint tenant not isolated",
+                    rec.job.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapping_jobs_never_beat_their_solo_latency() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0_47E0 + seed);
+        let spec = harness(2, 1);
+        let grid = mha_sched::ProcGrid::new(4, spec.ppn);
+        // Everyone lands on nodes {0..4}: full overlap. Messages at or
+        // above the 16 KiB stripe threshold so rail assignment is the
+        // deterministic striped path in solo and merged runs alike.
+        let n_jobs = rng.gen_range(2..=4u32);
+        let jobs: Vec<JobSpec> = (0..n_jobs)
+            .map(|i| JobSpec {
+                id: i,
+                tenant: 0,
+                cfg: AlgoConfig::default().coerce_for(grid),
+                msg: 1usize << rng.gen_range(14..=16u32),
+                nodes: (0..4).collect(),
+                release: f64::from(i) * rng.gen_range(1e-6..8e-6),
+                after: None,
+            })
+            .collect();
+
+        let merged = run_jobs(&spec, &jobs, &mut default_builder(&spec)).unwrap();
+        for job in &jobs {
+            let solo = run_jobs(
+                &spec,
+                std::slice::from_ref(job),
+                &mut default_builder(&spec),
+            )
+            .unwrap();
+            let solo_lat = solo.jobs[0].latency();
+            let shared = merged
+                .jobs
+                .iter()
+                .find(|r| r.job.id == job.id)
+                .expect("job present in merged run");
+            let merged_lat = shared.latency();
+            assert!(
+                merged_lat >= solo_lat * (1.0 - 1e-9),
+                "seed {seed} job {}: contended latency {merged_lat:e} beat solo {solo_lat:e}",
+                job.id
+            );
+        }
+    }
+}
